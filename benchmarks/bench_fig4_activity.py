@@ -1,0 +1,49 @@
+"""Benchmark E2 — regenerate Figure 4 (lower row): private aggregate
+activity histograms, and time the aggregate release."""
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import record
+from repro.core.queries import RelativeFrequencyHistogram
+from repro.data.activity import generate_study
+from repro.experiments.config import FAST
+from repro.experiments.fig4_activity import build_mechanisms, run
+
+CONFIG = FAST.activity
+
+
+@pytest.fixture(scope="module")
+def histogram_tables():
+    tables = run(CONFIG)
+    record(
+        "fig4_activity", "\n\n".join(t.render() for t in tables.values())
+    )
+    return tables
+
+
+def test_histograms_preserve_patterns(benchmark, histogram_tables):
+    """MQM histograms must track the exact ones closely enough that the
+    cohort activity patterns are visible, and GK16 must be N/A."""
+    sedentary = {}
+    for cohort, table in histogram_tables.items():
+        rows = table.to_dict()
+        exact = np.asarray(rows["Exact"], dtype=float)
+        for name in ("MQMApprox", "MQMExact"):
+            released = np.asarray(rows[name], dtype=float)
+            assert np.abs(released - exact).sum() < 0.75
+        assert "N/A" in table.title
+        sedentary[cohort] = np.asarray(rows["MQMExact"], dtype=float)[-1]
+    # The overweight cohort's sedentary dominance survives the noise.
+    assert sedentary["overweight_woman"] > sedentary["cyclist"]
+
+    group = generate_study(rng=CONFIG.seed, scale=CONFIG.scale)[0]
+    pooled = group.pooled_dataset()
+    _, _, _, exact_mech = build_mechanisms(group, CONFIG)
+    query = RelativeFrequencyHistogram(group.n_states, pooled.n_observations)
+
+    def release_once():
+        return exact_mech.release(pooled, query, rng=0)
+
+    release = benchmark.pedantic(release_once, rounds=3, iterations=1)
+    assert release.noise_scale > 0

@@ -1,0 +1,81 @@
+"""Benchmark E1 — regenerate Figure 4 (upper row) and time its scale
+computations.
+
+``pytest benchmarks/bench_fig4_synthetic.py --benchmark-only`` reproduces
+the three error curves (eps = 0.2, 1, 5) on the fast profile, asserts the
+paper's qualitative shape, and times the per-family noise-scale computation
+of each mechanism.
+"""
+
+import pytest
+
+from benchmarks.recording import record
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import StateFrequencyQuery
+from repro.baselines.gk16 import GK16Mechanism
+from repro.distributions.chain_family import IntervalChainFamily
+from repro.experiments.config import FAST
+from repro.experiments.fig4_synthetic import gk16_cutoff, run
+
+CONFIG = FAST.synthetic
+
+
+@pytest.fixture(scope="module")
+def figure_tables():
+    tables = run(CONFIG)
+    text = "\n\n".join(t.render() for t in tables.values())
+    cutoff = gk16_cutoff(CONFIG)
+    text += f"\n\nGK16 applicability line: alpha >= {cutoff}"
+    record("fig4_synthetic", text)
+    return tables
+
+
+def test_fig4_shape_and_timing(benchmark, figure_tables):
+    """Assert the paper's qualitative shape, then time MQMExact's scale."""
+    for epsilon, table in figure_tables.items():
+        rows = table.to_dict()
+        # GK16 is N/A at alpha = 0.1 for every epsilon (line is eps-free).
+        assert rows["GK16"][0] is None
+        # MQM errors decrease as the family narrows.
+        for name in ("MQMApprox", "MQMExact"):
+            series = rows[name]
+            assert series[0] > series[-1]
+        # MQMExact is at least as accurate as MQMApprox everywhere.
+        for exact, approx in zip(rows["MQMExact"], rows["MQMApprox"]):
+            assert exact <= approx * 1.10  # trial noise tolerance
+        # GroupDP sits near 1/eps.
+        for value in rows["GroupDP"]:
+            assert value == pytest.approx(1.0 / epsilon, rel=0.35)
+    family = IntervalChainFamily(0.3, grid_step=CONFIG.grid_step)
+    query = StateFrequencyQuery(1, CONFIG.length)
+
+    def compute_scale():
+        mech = MQMExact(family, 1.0, max_window=CONFIG.length)
+        return mech.sigma_max(CONFIG.length)
+
+    sigma = benchmark.pedantic(compute_scale, rounds=1, iterations=1)
+    assert sigma > 0
+
+
+def test_fig4_approx_scale_timing(benchmark):
+    """MQMApprox's closed-form scale is orders of magnitude faster."""
+    family = IntervalChainFamily(0.3, grid_step=CONFIG.grid_step)
+
+    def compute_scale():
+        return MQMApprox(family, 1.0).sigma_max(CONFIG.length)
+
+    sigma = benchmark.pedantic(compute_scale, rounds=3, iterations=1)
+    assert sigma > 0
+
+
+def test_fig4_gk16_scale_timing(benchmark):
+    """GK16 scale computation over the family grid."""
+    family = IntervalChainFamily(0.35, grid_step=CONFIG.grid_step)
+    query = StateFrequencyQuery(1, CONFIG.length)
+
+    def compute_scale():
+        mech = GK16Mechanism(family, 1.0, length=CONFIG.length)
+        return mech.rho(CONFIG.length)
+
+    rho = benchmark.pedantic(compute_scale, rounds=3, iterations=1)
+    assert 0 < rho < 1

@@ -1,0 +1,57 @@
+"""Benchmark E3 — regenerate Table 1 (activity L1 errors, aggregate and
+individual tasks) and time the cohort noise-scale computation."""
+
+import pytest
+
+from benchmarks.recording import record
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.data.activity import generate_study
+from repro.data.estimation import empirical_chain
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.experiments.config import FAST
+from repro.experiments.table1_activity import check_orderings, run
+
+CONFIG = FAST.activity
+
+
+@pytest.fixture(scope="module")
+def table1():
+    table = run(CONFIG)
+    violations = check_orderings(table)
+    text = table.render()
+    text += "\n\nOrdering check: " + ("; ".join(violations) if violations else "all hold")
+    record("table1_activity", text)
+    return table, violations
+
+
+def test_table1_orderings(benchmark, table1):
+    """The paper's orderings hold; time MQMExact's scale on one cohort."""
+    table, violations = table1
+    assert violations == []
+    group = generate_study(rng=CONFIG.seed, scale=CONFIG.scale)[0]
+    pooled = group.pooled_dataset()
+    chain = empirical_chain(group, smoothing=CONFIG.smoothing)
+    family = FiniteChainFamily.singleton(chain)
+    approx = MQMApprox(family, CONFIG.epsilon)
+    window = approx.optimal_quilt_extent(pooled.longest_segment) or 64
+
+    def compute_scale():
+        mech = MQMExact(family, CONFIG.epsilon, max_window=window)
+        return mech.sigma_max(pooled.segment_lengths)
+
+    sigma = benchmark.pedantic(compute_scale, rounds=1, iterations=1)
+    assert sigma > 0
+
+
+def test_table1_approx_scale_timing(benchmark):
+    """MQMApprox cohort scale computation (the fast path of Table 2)."""
+    group = generate_study(rng=CONFIG.seed, scale=CONFIG.scale)[0]
+    pooled = group.pooled_dataset()
+    chain = empirical_chain(group, smoothing=CONFIG.smoothing)
+    family = FiniteChainFamily.singleton(chain)
+
+    def compute_scale():
+        return MQMApprox(family, CONFIG.epsilon).sigma_max(pooled.segment_lengths)
+
+    sigma = benchmark.pedantic(compute_scale, rounds=2, iterations=1)
+    assert sigma > 0

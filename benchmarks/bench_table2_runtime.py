@@ -1,0 +1,96 @@
+"""Benchmark E4 — regenerate Table 2 (noise-scale computation times).
+
+This artifact *is* a timing table, so pytest-benchmark is the natural
+harness: each benchmark times one (mechanism, dataset) cell; the recorded
+table comes from the experiment module's own wall-clock measurements.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import record
+from repro.baselines.gk16 import GK16Mechanism
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.data.estimation import empirical_chain
+from repro.data.power import generate_power_dataset
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.experiments.config import FAST
+from repro.experiments.table2_runtime import run, synthetic_timings
+
+
+@pytest.fixture(scope="module")
+def recorded_table():
+    table = run(FAST.activity, FAST.power, include_power=True)
+    record("table2_runtime", table.render())
+    return table
+
+
+def test_table2_orderings(benchmark, recorded_table):
+    """MQMApprox must be much faster than MQMExact on every dataset."""
+    rows = recorded_table.to_dict()
+    for approx, exact in zip(rows["MQMApprox"], rows["MQMExact"]):
+        assert approx < exact
+    timings = benchmark.pedantic(
+        lambda: synthetic_timings(grid_points=5), rounds=1, iterations=1
+    )
+    assert timings["MQMApprox"] is not None
+    assert timings["MQMApprox"] < timings["MQMExact"]
+
+
+@pytest.fixture(scope="module")
+def synthetic_theta():
+    pi = IntervalChainFamily.stationary_for(0.5, 0.5)
+    transition = IntervalChainFamily.transition_for(0.5, 0.5)
+    return FiniteChainFamily.singleton(MarkovChain(pi, transition))
+
+
+def test_synthetic_mqm_exact_cell(benchmark, synthetic_theta):
+    def scale():
+        return MQMExact(synthetic_theta, 1.0, max_window=100).sigma_max(100)
+
+    assert benchmark.pedantic(scale, rounds=3, iterations=1) > 0
+
+
+def test_synthetic_mqm_approx_cell(benchmark, synthetic_theta):
+    def scale():
+        return MQMApprox(synthetic_theta, 1.0).sigma_max(100)
+
+    assert benchmark.pedantic(scale, rounds=3, iterations=1) > 0
+
+
+def test_synthetic_gk16_cell(benchmark, synthetic_theta):
+    def scale():
+        return GK16Mechanism(synthetic_theta, 1.0, length=100).rho(100)
+
+    assert benchmark.pedantic(scale, rounds=3, iterations=1) >= 0
+
+
+@pytest.fixture(scope="module")
+def power_family():
+    dataset, _ = generate_power_dataset(FAST.power.length, rng=FAST.power.seed)
+    chain = empirical_chain(dataset, smoothing=FAST.power.smoothing)
+    return FiniteChainFamily.singleton(chain), dataset
+
+
+def test_power_mqm_exact_cell(benchmark, power_family):
+    """The paper's slowest cell (282 s on their desktop for T=1M, k=51)."""
+    family, dataset = power_family
+    approx = MQMApprox(family, 1.0)
+    window = approx.optimal_quilt_extent(dataset.longest_segment) or 64
+
+    def scale():
+        return MQMExact(family, 1.0, max_window=window).sigma_max(
+            dataset.segment_lengths
+        )
+
+    assert benchmark.pedantic(scale, rounds=1, iterations=1) > 0
+
+
+def test_power_mqm_approx_cell(benchmark, power_family):
+    family, dataset = power_family
+
+    def scale():
+        return MQMApprox(family, 1.0).sigma_max(dataset.segment_lengths)
+
+    assert benchmark.pedantic(scale, rounds=2, iterations=1) > 0

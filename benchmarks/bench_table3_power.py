@@ -1,0 +1,44 @@
+"""Benchmark E5 — regenerate Table 3 (electricity L1 errors) and time the
+51-state releases."""
+
+import pytest
+
+from benchmarks.recording import record
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import RelativeFrequencyHistogram
+from repro.data.estimation import empirical_chain
+from repro.data.power import generate_power_dataset
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.experiments.config import FAST
+from repro.experiments.table3_power import check_orderings, run
+
+CONFIG = FAST.power
+
+
+@pytest.fixture(scope="module")
+def table3():
+    table = run(CONFIG)
+    violations = check_orderings(table)
+    text = table.render()
+    text += "\n\nOrdering check: " + ("; ".join(violations) if violations else "all hold")
+    record("table3_power", text)
+    return table, violations
+
+
+def test_table3_orderings(benchmark, table3):
+    """GK16 N/A; MQMExact <= MQMApprox << GroupDP; errors fall with eps."""
+    table, violations = table3
+    assert violations == []
+    dataset, _ = generate_power_dataset(CONFIG.length, rng=CONFIG.seed)
+    chain = empirical_chain(dataset, smoothing=CONFIG.smoothing)
+    family = FiniteChainFamily.singleton(chain)
+    approx = MQMApprox(family, 1.0)
+    window = approx.optimal_quilt_extent(dataset.longest_segment) or 64
+    exact = MQMExact(family, 1.0, max_window=window)
+    query = RelativeFrequencyHistogram(dataset.n_states, dataset.n_observations)
+
+    def release_once():
+        return exact.release(dataset, query, rng=0)
+
+    release = benchmark.pedantic(release_once, rounds=1, iterations=1)
+    assert release.noise_scale > 0

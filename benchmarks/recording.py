@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure), records the
+rendered text under ``results/`` so EXPERIMENTS.md can be assembled from
+actual runs, and uses pytest-benchmark to time the representative
+noise-scale computation (the quantity Table 2 reports).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record(name: str, text: str) -> Path:
+    """Write one artifact's rendered output under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path

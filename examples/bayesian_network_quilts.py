@@ -1,0 +1,70 @@
+"""Markov Quilt Mechanism on a general Bayesian network (Algorithm 2).
+
+The chain algorithms (MQMExact/MQMApprox) cover time series; this example
+shows the *general* mechanism on a branching network — a small disease-
+spread tree where one index case infects two households:
+
+    source -> hhA1 -> hhA2
+           -> hhB1 -> hhB2 -> hhB3
+
+Each node is a binary infection status; edges carry a contagion CPD.  The
+mechanism finds, for every node, the quilt (graph separator) that minimizes
+card(nearby) / (eps - max-influence) and calibrates one Laplace scale that
+protects everyone.
+
+Run:  python examples/bayesian_network_quilts.py
+"""
+
+import numpy as np
+
+from repro import DiscreteBayesianNetwork, MarkovQuiltMechanism
+from repro.core.queries import CountQuery
+
+EPSILON = 4.0
+SEED = 17
+
+#: P(child infected | parent status): contagion with background infection.
+CONTAGION = np.array([[0.85, 0.15], [0.45, 0.55]])
+
+
+def build_network() -> DiscreteBayesianNetwork:
+    net = DiscreteBayesianNetwork()
+    net.add_node("source", 2, cpd=[0.7, 0.3])
+    net.add_node("hhA1", 2, parents=["source"], cpd=CONTAGION)
+    net.add_node("hhA2", 2, parents=["hhA1"], cpd=CONTAGION)
+    net.add_node("hhB1", 2, parents=["source"], cpd=CONTAGION)
+    net.add_node("hhB2", 2, parents=["hhB1"], cpd=CONTAGION)
+    net.add_node("hhB3", 2, parents=["hhB2"], cpd=CONTAGION)
+    return net
+
+
+def main() -> None:
+    net = build_network()
+    mech = MarkovQuiltMechanism([net], epsilon=EPSILON)
+
+    print("per-node active quilts (Definition 4.5):")
+    for node in net.nodes:
+        sigma, quilt = mech.sigma_for_node(node)
+        members = "{" + ", ".join(sorted(quilt.quilt)) + "}" if quilt.quilt else "trivial"
+        print(
+            f"  {node:>6}: sigma = {sigma:6.3f}, quilt = {members:<16} "
+            f"nearby = {sorted(quilt.nearby)}"
+        )
+    print(f"sigma_max = {mech.sigma_max():.3f} "
+          f"(GroupDP would need {len(net.nodes) / EPSILON:.3f})")
+
+    # Release the infected count across the tree.
+    rng = np.random.default_rng(SEED)
+    assignments, probs = net.enumerate_joint()
+    data = np.asarray(assignments[rng.choice(len(assignments), p=probs)])
+    release = mech.release(data, CountQuery(), rng)
+    print(
+        f"\ntrue infected: {int(release.true_value)} of {len(net.nodes)}; "
+        f"released: {release.value:.2f} with Lap({release.noise_scale:.3f})"
+    )
+    print(f"worst node: {release.details['worst_node']}, "
+          f"active quilt {release.details['active_quilt']}")
+
+
+if __name__ == "__main__":
+    main()

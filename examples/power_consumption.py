@@ -1,0 +1,74 @@
+"""Household electricity consumption (the paper's Section 5.3.2).
+
+One household's per-minute power draw, discretized into 51 bins of 200 W,
+forms one very long Markov chain.  GroupDP is hopeless here (the whole
+series is a single fully-correlated group), while the Markov Quilt
+Mechanism's noise depends only on the chain's mixing time — so accuracy
+*improves* with more data.
+
+Run:  python examples/power_consumption.py
+"""
+
+import numpy as np
+
+from repro import GroupDPMechanism, MQMApprox, MQMExact, RelativeFrequencyHistogram
+from repro.data.estimation import empirical_chain
+from repro.data.power import generate_power_dataset
+from repro.distributions.chain_family import FiniteChainFamily
+
+EPSILON = 1.0
+LENGTH = 200_000
+SEED = 7
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    dataset, generator = generate_power_dataset(LENGTH, rng)
+    print(
+        f"power series: {dataset.n_observations} minutes, "
+        f"{dataset.n_states} states of 200 W"
+    )
+
+    chain = empirical_chain(dataset, smoothing=0.05)
+    family = FiniteChainFamily.singleton(chain)
+    print(
+        f"estimated chain: pi_min={chain.pi_min():.2e}, eigengap={chain.eigengap():.4f}"
+    )
+
+    query = RelativeFrequencyHistogram(dataset.n_states, dataset.n_observations)
+    exact_hist = query(dataset.concatenated)
+
+    approx = MQMApprox(family, EPSILON)
+    window = approx.optimal_quilt_extent(dataset.longest_segment) or 64
+    exact = MQMExact(family, EPSILON, max_window=window)
+
+    print(f"\n{'mechanism':>10}  {'L1 error':>9}  {'per-bin scale':>13}")
+    for mech in (exact, approx, GroupDPMechanism(EPSILON)):
+        release = mech.release(dataset, query, rng)
+        print(
+            f"{mech.name:>10}  {release.l1_error():9.4f}  {release.noise_scale:13.3e}"
+        )
+
+    # The headline claim: MQM noise is T-independent, so doubling the data
+    # halves the relative error; GroupDP's error never improves.
+    print("\nrelative error (L1 / 1.0) as the series grows:")
+    for length in (50_000, 100_000, 200_000):
+        sub = dataset.concatenated[:length]
+        sub_query = RelativeFrequencyHistogram(dataset.n_states, length)
+        sigma = exact.sigma_max((length,))
+        expected_mqm = dataset.n_states * sub_query.lipschitz * sigma
+        expected_group = dataset.n_states * sub_query.lipschitz * length / EPSILON
+        print(
+            f"  T={length:>7}: MQMExact expected L1 ~ {expected_mqm:8.4f}   "
+            f"GroupDP expected L1 ~ {expected_group:8.1f}"
+        )
+
+    top = np.argsort(exact_hist)[::-1][:3]
+    print(
+        "\nthree busiest power bins (exact):",
+        ", ".join(f"{200*b}-{200*(b+1)}W: {exact_hist[b]:.3f}" for b in top),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Run every experiment at the full (paper-scale) profile and record the
+output under results/full_<name>.txt.  Used to assemble EXPERIMENTS.md.
+
+Usage:  python scripts/run_full_experiments.py [--skip-power]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def capture(name: str, func) -> None:
+    RESULTS.mkdir(exist_ok=True)
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(buffer):
+        func()
+    elapsed = time.perf_counter() - start
+    text = buffer.getvalue().rstrip() + f"\n\n[elapsed: {elapsed:.1f}s]\n"
+    (RESULTS / f"full_{name}.txt").write_text(text)
+    print(f"{name}: done in {elapsed:.1f}s", flush=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--skip-power", action="store_true")
+    args = parser.parse_args()
+
+    from repro.experiments import (
+        fig4_activity,
+        fig4_synthetic,
+        section3_flu,
+        section44_running_example,
+        table1_activity,
+        table2_runtime,
+        table3_power,
+    )
+
+    capture("section44_running_example", section44_running_example.main)
+    capture("section3_flu", section3_flu.main)
+    capture("fig4_synthetic", fig4_synthetic.main)
+    capture("fig4_activity", fig4_activity.main)
+    capture("table1_activity", table1_activity.main)
+    if not args.skip_power:
+        capture("table3_power", table3_power.main)
+        capture("table2_runtime", table2_runtime.main)
+    print("all full-profile experiments recorded under results/")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package (offline), so PEP 660
+editable installs (`pip install -e .`) cannot build the editable wheel.
+This shim lets `python setup.py develop` and legacy `pip install -e .`
+perform the editable install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""pufferfish-repro: a reproduction of "Pufferfish Privacy Mechanisms for
+Correlated Data" (Song, Wang, Chaudhuri; SIGMOD 2017).
+
+Public API highlights
+---------------------
+* :class:`~repro.core.wasserstein.WassersteinMechanism` — Algorithm 1, the
+  first mechanism for any Pufferfish instantiation.
+* :class:`~repro.core.markov_quilt.MarkovQuiltMechanism` — Algorithm 2 for
+  Bayesian networks.
+* :class:`~repro.core.mqm_chain.MQMExact` / :class:`~repro.core.mqm_chain.MQMApprox`
+  — Algorithms 3 and 4 for Markov chains.
+* Baselines: :class:`~repro.baselines.dp.EntryDPMechanism`,
+  :class:`~repro.baselines.group_dp.GroupDPMechanism`,
+  :class:`~repro.baselines.gk16.GK16Mechanism`.
+* Substrates: :class:`~repro.distributions.markov.MarkovChain`,
+  :class:`~repro.distributions.bayesnet.DiscreteBayesianNetwork`, chain
+  families, discrete distributions and their divergences.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.baselines import (
+    EntryDPMechanism,
+    GK16Mechanism,
+    GroupDPMechanism,
+    IndividualDPMechanism,
+)
+from repro.core import (
+    CompositionAccountant,
+    CountQuery,
+    FluCliqueModel,
+    MQMApprox,
+    MQMExact,
+    MarkovChainModel,
+    MarkovQuiltMechanism,
+    Mechanism,
+    PrivateRelease,
+    PufferfishInstantiation,
+    Query,
+    RelativeFrequencyHistogram,
+    Secret,
+    SecretPair,
+    StateFrequencyQuery,
+    TabularDataModel,
+    WassersteinMechanism,
+    adversary_distance,
+    chain_max_influence,
+    effective_epsilon,
+    entrywise_instantiation,
+    wasserstein_bound,
+)
+from repro.data import StudyGroup, TimeSeriesDataset
+from repro.distributions import (
+    DiscreteBayesianNetwork,
+    DiscreteDistribution,
+    FiniteChainFamily,
+    IntervalChainFamily,
+    MarkovChain,
+    max_divergence,
+    total_variation,
+    w_infinity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositionAccountant",
+    "CountQuery",
+    "DiscreteBayesianNetwork",
+    "DiscreteDistribution",
+    "EntryDPMechanism",
+    "FiniteChainFamily",
+    "FluCliqueModel",
+    "GK16Mechanism",
+    "GroupDPMechanism",
+    "IndividualDPMechanism",
+    "IntervalChainFamily",
+    "MQMApprox",
+    "MQMExact",
+    "MarkovChain",
+    "MarkovChainModel",
+    "MarkovQuiltMechanism",
+    "Mechanism",
+    "PrivateRelease",
+    "PufferfishInstantiation",
+    "Query",
+    "RelativeFrequencyHistogram",
+    "Secret",
+    "SecretPair",
+    "StateFrequencyQuery",
+    "StudyGroup",
+    "TabularDataModel",
+    "TimeSeriesDataset",
+    "WassersteinMechanism",
+    "adversary_distance",
+    "chain_max_influence",
+    "effective_epsilon",
+    "entrywise_instantiation",
+    "max_divergence",
+    "total_variation",
+    "w_infinity",
+    "wasserstein_bound",
+]

@@ -1,0 +1,107 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Run one (or all) paper experiments at the full or fast profile.
+``verify``
+    Numerically verify the Pufferfish inequality for MQMExact on a small
+    chain instantiation (a self-check of the installed build).
+``info``
+    Print version and the experiment inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = (
+    "fig4_synthetic",
+    "fig4_activity",
+    "table1_activity",
+    "table2_runtime",
+    "table3_power",
+    "section3_flu",
+    "section44_running_example",
+)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.experiments.config import FAST, FULL
+
+    profile = FAST if args.profile == "fast" else FULL
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(f"=== {name} ({profile.name} profile) ===")
+        if name == "fig4_synthetic":
+            module.main(profile.synthetic)
+        elif name in ("fig4_activity", "table1_activity"):
+            module.main(profile.activity)
+        elif name == "table2_runtime":
+            module.main(profile.activity, profile.power)
+        elif name == "table3_power":
+            module.main(profile.power)
+        else:
+            module.main()
+        print()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.verification import verify_pufferfish
+    from repro.core.framework import entrywise_instantiation
+    from repro.core.models import MarkovChainModel
+    from repro.core.mqm_chain import MQMExact
+    from repro.core.queries import StateFrequencyQuery
+    from repro.distributions.chain_family import FiniteChainFamily
+    from repro.distributions.markov import MarkovChain
+
+    chain = MarkovChain([0.6, 0.4], [[0.85, 0.15], [0.2, 0.8]])
+    length = args.length
+    inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+    query = StateFrequencyQuery(1, length)
+    mech = MQMExact(FiniteChainFamily([chain]), args.epsilon, max_window=length)
+    scale = mech.noise_scale(query, np.zeros(length, dtype=int))
+    report = verify_pufferfish(inst, query, scale, args.epsilon)
+    print(report.summary())
+    return 0 if report.satisfied else 1
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"pufferfish-repro {repro.__version__}")
+    print("experiments:", ", ".join(EXPERIMENTS))
+    print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("name", choices=("all", *EXPERIMENTS))
+    p_exp.add_argument("--profile", choices=("fast", "full"), default="fast")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_verify = sub.add_parser("verify", help="numeric Pufferfish self-check")
+    p_verify.add_argument("--epsilon", type=float, default=1.0)
+    p_verify.add_argument("--length", type=int, default=5)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_info = sub.add_parser("info", help="version and inventory")
+    p_info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Experiment support: error metrics, trial runners, text reporting, and
+numeric Pufferfish verification."""
+
+from repro.analysis.metrics import expected_l1_laplace, l1_error
+from repro.analysis.reporting import Table, format_series
+from repro.analysis.runner import TrialResult, run_release_trials
+from repro.analysis.verification import VerificationReport, verify_pufferfish
+
+__all__ = [
+    "Table",
+    "TrialResult",
+    "VerificationReport",
+    "expected_l1_laplace",
+    "format_series",
+    "l1_error",
+    "run_release_trials",
+    "verify_pufferfish",
+]

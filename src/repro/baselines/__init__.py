@@ -1,0 +1,16 @@
+"""Baseline mechanisms the paper compares against: entry/individual-level
+differential privacy, group differential privacy, and the GK16
+influence-matrix mechanism of Ghosh and Kleinberg [14]."""
+
+from repro.baselines.dp import EntryDPMechanism, IndividualDPMechanism
+from repro.baselines.gk16 import GK16Mechanism, chain_influence_matrix, influence_spectral_norm
+from repro.baselines.group_dp import GroupDPMechanism
+
+__all__ = [
+    "EntryDPMechanism",
+    "GK16Mechanism",
+    "GroupDPMechanism",
+    "IndividualDPMechanism",
+    "chain_influence_matrix",
+    "influence_spectral_norm",
+]

@@ -1,0 +1,66 @@
+"""Differential-privacy baselines.
+
+* :class:`EntryDPMechanism` — entry-level differential privacy [15]: hide the
+  value of a single entry, noise scale ``L / epsilon``.  The paper's
+  introduction explains why this is insufficient for correlated entries
+  (it protects one record, not the evidence a correlated neighborhood
+  leaves behind), but it is the natural utility upper bound.
+* :class:`IndividualDPMechanism` — person-level differential privacy for the
+  *aggregate* task of Section 5.3.1: one "record" is an entire participant,
+  so the sensitivity of the pooled relative-frequency histogram is
+  ``2 * max_j N_j / N_total`` (changing participant ``j`` rewrites all of
+  their ``N_j`` observations).  This is the "DP" row of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.laplace import Mechanism
+from repro.core.queries import Query
+from repro.exceptions import ValidationError
+
+
+class EntryDPMechanism(Mechanism):
+    """Entry-level DP Laplace mechanism: noise scale ``L / epsilon``."""
+
+    name = "EntryDP"
+
+    def noise_scale(self, query: Query, data) -> float:
+        return query.lipschitz / self.epsilon
+
+
+class IndividualDPMechanism(Mechanism):
+    """Individual-level DP for pooled relative-frequency histograms.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter.
+    participant_sizes:
+        Number of observations contributed by each participant; the pooled
+        histogram's L1 sensitivity to replacing one participant is
+        ``2 * max_j N_j / N_total``.
+    """
+
+    name = "DP"
+
+    def __init__(self, epsilon: float, participant_sizes: Sequence[int]) -> None:
+        super().__init__(epsilon)
+        sizes = [int(s) for s in participant_sizes]
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValidationError("participant_sizes must be non-empty positive integers")
+        self.participant_sizes = sizes
+
+    def sensitivity(self) -> float:
+        """L1 sensitivity of the pooled relative-frequency histogram."""
+        total = float(np.sum(self.participant_sizes))
+        return 2.0 * float(np.max(self.participant_sizes)) / total
+
+    def noise_scale(self, query: Query, data) -> float:
+        return self.sensitivity() / self.epsilon
+
+    def scale_details(self, query: Query, data) -> dict:
+        return {"sensitivity": self.sensitivity()}

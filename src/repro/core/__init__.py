@@ -1,0 +1,64 @@
+"""Core Pufferfish machinery: the framework, enumerable data models, queries,
+the Wasserstein Mechanism, the Markov Quilt Mechanism and its Markov-chain
+specializations, composition accounting, and the close-adversary robustness
+bound."""
+
+from repro.core.composition import CompositionAccountant, CompositionRecord
+from repro.core.framework import (
+    PufferfishInstantiation,
+    Secret,
+    SecretPair,
+    entrywise_instantiation,
+)
+from repro.core.laplace import Mechanism, PrivateRelease, sample_laplace
+from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
+from repro.core.models import (
+    DataModel,
+    FluCliqueModel,
+    MarkovChainModel,
+    TabularDataModel,
+)
+from repro.core.mqm_chain import MQMApprox, MQMExact, chain_max_influence
+from repro.core.queries import (
+    CountQuery,
+    MeanQuery,
+    Query,
+    RelativeFrequencyHistogram,
+    ScalarQuery,
+    StateFrequencyQuery,
+    SumQuery,
+)
+from repro.core.robustness import adversary_distance, effective_epsilon
+from repro.core.wasserstein import WassersteinMechanism, wasserstein_bound
+
+__all__ = [
+    "CompositionAccountant",
+    "CompositionRecord",
+    "CountQuery",
+    "DataModel",
+    "FluCliqueModel",
+    "MQMApprox",
+    "MQMExact",
+    "MarkovChainModel",
+    "MarkovQuiltMechanism",
+    "MeanQuery",
+    "Mechanism",
+    "PrivateRelease",
+    "PufferfishInstantiation",
+    "Query",
+    "RelativeFrequencyHistogram",
+    "ScalarQuery",
+    "Secret",
+    "SecretPair",
+    "StateFrequencyQuery",
+    "SumQuery",
+    "TabularDataModel",
+    "WassersteinMechanism",
+    "adversary_distance",
+    "chain_max_influence",
+    "effective_epsilon",
+    "entrywise_instantiation",
+    "max_influence",
+    "sample_laplace",
+    "wasserstein_bound",
+]

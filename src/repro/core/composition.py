@@ -1,0 +1,115 @@
+"""Sequential composition accounting for the Markov Quilt Mechanism.
+
+Pufferfish privacy does not compose in general [20], but Theorem 4.4 shows
+the Markov Quilt Mechanism does when every release uses the *same active
+Markov quilt* for each node: K releases at levels ``eps_1..eps_K`` with
+identical quilt sets guarantee ``K * max_k eps_k``-Pufferfish privacy (and
+exactly ``K * eps`` when the levels are equal).
+
+:class:`CompositionAccountant` tracks releases, verifies the same-quilt
+condition via a hashable *quilt signature* (see
+:meth:`~repro.core.markov_quilt.MarkovQuiltMechanism.quilt_signature`), and
+reports the accumulated guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.exceptions import PrivacyParameterError
+
+
+@dataclass(frozen=True)
+class CompositionRecord:
+    """One recorded release."""
+
+    epsilon: float
+    mechanism: str
+    quilt_signature: Hashable
+
+
+@dataclass
+class CompositionAccountant:
+    """Tracks Markov Quilt Mechanism releases over one database.
+
+    Parameters
+    ----------
+    budget:
+        Optional total epsilon budget; :meth:`record` raises once the
+        accumulated guarantee would exceed it.
+    """
+
+    budget: float | None = None
+    records: list[CompositionRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        epsilon: float,
+        *,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+    ) -> CompositionRecord:
+        """Register a release; raises if it would exceed the budget or break
+        the same-quilt condition."""
+        if epsilon <= 0:
+            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
+        candidate = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+        tentative = self.records + [candidate]
+        if not _signatures_consistent(tentative):
+            raise PrivacyParameterError(
+                "releases use different active Markov quilts; Theorem 4.4 does "
+                "not apply and Pufferfish privacy may not compose"
+            )
+        total = _total(tentative)
+        if self.budget is not None and total > self.budget + 1e-12:
+            raise PrivacyParameterError(
+                f"release would bring the composed guarantee to {total:.4g}, "
+                f"exceeding the budget of {self.budget:.4g}"
+            )
+        self.records.append(candidate)
+        return candidate
+
+    @property
+    def is_composable(self) -> bool:
+        """Whether all recorded releases share one quilt signature."""
+        return _signatures_consistent(self.records)
+
+    def total_epsilon(self) -> float:
+        """The composed guarantee ``K * max_k eps_k`` (0.0 when empty)."""
+        if not _signatures_consistent(self.records):
+            raise PrivacyParameterError(
+                "releases use different active Markov quilts; no composition "
+                "guarantee is available"
+            )
+        return _total(self.records)
+
+    def remaining(self) -> float | None:
+        """Remaining budget, or ``None`` when no budget was set."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - _total(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _signatures_consistent(records: list[CompositionRecord]) -> bool:
+    signatures = {r.quilt_signature for r in records}
+    return len(signatures) <= 1
+
+
+def _total(records: list[CompositionRecord]) -> float:
+    if not records:
+        return 0.0
+    return len(records) * max(r.epsilon for r in records)
+
+
+def compose_epsilons(epsilons: list[float]) -> float:
+    """The Theorem 4.4 guarantee for a list of per-release epsilons that all
+    used the same quilt sets: ``K * max_k eps_k``."""
+    if not epsilons:
+        return 0.0
+    if any(e <= 0 for e in epsilons):
+        raise PrivacyParameterError("all epsilons must be positive")
+    return len(epsilons) * max(epsilons)

@@ -1,0 +1,147 @@
+"""The Pufferfish privacy framework ``(S, Q, Theta)``.
+
+Definition 2.1: a mechanism ``M`` is epsilon-Pufferfish private in framework
+``(S, Q, Theta)`` when for every ``theta in Theta``, every secret pair
+``(s_i, s_j) in Q`` with positive probability under ``theta``, and every
+output ``w``::
+
+    e^-eps <= P(M(X) = w | s_i, theta) / P(M(X) = w | s_j, theta) <= e^eps
+
+This module provides the framework containers plus the *entrywise*
+instantiation of Section 4.1 (secrets "record i has value a", pairs over all
+value pairs at each index) used by both the flu example and the Markov-chain
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.models import DataModel
+
+
+@dataclass(frozen=True)
+class Secret:
+    """The event "record ``index`` has value ``value``" (``s_i^a``).
+
+    ``index`` is 0-based.  ``label`` is cosmetic and used in reports.
+    """
+
+    index: int
+    value: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError(f"secret index must be >= 0, got {self.index}")
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        if self.label:
+            return self.label
+        return f"X_{self.index} = {self.value}"
+
+
+@dataclass(frozen=True)
+class SecretPair:
+    """A pair of secrets that must be indistinguishable (an element of Q)."""
+
+    left: Secret
+    right: Secret
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValidationError("a secret pair must contain two distinct secrets")
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        return f"({self.left.describe()}) vs ({self.right.describe()})"
+
+
+class PufferfishInstantiation:
+    """A concrete Pufferfish framework ``(S, Q, Theta)``.
+
+    Parameters
+    ----------
+    secrets:
+        The set ``S``.
+    pairs:
+        The set ``Q`` (each pair's secrets need not be listed in ``secrets``;
+        they are added automatically).
+    models:
+        The class ``Theta`` as a sequence of :class:`~repro.core.models.DataModel`
+        objects, each of which can compute conditional distributions of the
+        data given a secret.
+    """
+
+    def __init__(
+        self,
+        secrets: Iterable[Secret],
+        pairs: Iterable[SecretPair],
+        models: Sequence["DataModel"],
+    ) -> None:
+        self.secrets: tuple[Secret, ...] = tuple(secrets)
+        self.pairs: tuple[SecretPair, ...] = tuple(pairs)
+        self.models: tuple["DataModel", ...] = tuple(models)
+        if not self.pairs:
+            raise ValidationError("a Pufferfish instantiation needs at least one secret pair")
+        if not self.models:
+            raise ValidationError("a Pufferfish instantiation needs at least one model in Theta")
+        secret_set = set(self.secrets)
+        for pair in self.pairs:
+            secret_set.add(pair.left)
+            secret_set.add(pair.right)
+        self.secrets = tuple(sorted(secret_set, key=lambda s: (s.index, s.value)))
+
+    def admissible_pairs(self, model: "DataModel") -> Iterable[SecretPair]:
+        """Pairs whose both secrets have positive probability under ``model``
+        (Definition 2.1 only constrains those)."""
+        for pair in self.pairs:
+            if model.secret_probability(pair.left) > 0 and model.secret_probability(pair.right) > 0:
+                yield pair
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PufferfishInstantiation(secrets={len(self.secrets)}, "
+            f"pairs={len(self.pairs)}, models={len(self.models)})"
+        )
+
+
+def entrywise_secrets(n_records: int, n_values: int) -> list[Secret]:
+    """The secret set of Section 4.1: every value of every record."""
+    check_positive(n_records, "n_records")
+    check_positive(n_values, "n_values")
+    return [Secret(i, a) for i in range(n_records) for a in range(n_values)]
+
+
+def entrywise_pairs(n_records: int, n_values: int) -> list[SecretPair]:
+    """The secret-pair set of Section 4.1: all ordered value pairs per record.
+
+    Pufferfish's inequality is two-sided, so unordered pairs suffice; we emit
+    each unordered pair once.
+    """
+    pairs = []
+    for i in range(n_records):
+        for a in range(n_values):
+            for b in range(a + 1, n_values):
+                pairs.append(SecretPair(Secret(i, a), Secret(i, b)))
+    return pairs
+
+
+def entrywise_instantiation(
+    n_records: int,
+    n_values: int,
+    models: Sequence["DataModel"],
+) -> PufferfishInstantiation:
+    """The full Section 4.1 instantiation for ``n_records`` records each
+    taking ``n_values`` values, with distribution class ``models``."""
+    return PufferfishInstantiation(
+        entrywise_secrets(n_records, n_values),
+        entrywise_pairs(n_records, n_values),
+        models,
+    )

@@ -1,0 +1,177 @@
+"""The Markov Quilt Mechanism for general Bayesian networks (Algorithm 2).
+
+For each node ``X_i`` the mechanism searches a set of Markov quilts
+``(X_N, X_Q, X_R)`` (Definition 4.2).  A quilt with max-influence
+``e_Theta(X_Q | X_i) < epsilon`` receives the score
+``card(X_N) / (epsilon - e_Theta(X_Q|X_i))``; the node's sigma is the best
+(smallest) score, and the released noise is ``L * max_i sigma_i * Lap(1)``
+(Theorem 4.3).
+
+Max-influence (Definition 4.1) is computed *exactly* here by enumerating the
+joint distribution of each theta — the general-but-expensive path the paper
+describes.  The Markov-chain specialization in :mod:`repro.core.mqm_chain`
+avoids the enumeration entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.laplace import Mechanism
+from repro.core.queries import Query
+from repro.distributions.bayesnet import DiscreteBayesianNetwork, MarkovQuilt
+from repro.exceptions import PrivacyParameterError, ValidationError
+
+#: Marginal probabilities below this are treated as zero when deciding which
+#: secret values are admissible under a theta.
+MARGINAL_ATOL = 1e-12
+
+
+def _log_ratio_sup(
+    numer: Mapping[tuple[int, ...], float],
+    denom: Mapping[tuple[int, ...], float],
+) -> float:
+    """``sup_x log numer(x)/denom(x)`` over the support of ``numer``."""
+    supremum = -np.inf
+    for key, p in numer.items():
+        if p <= MARGINAL_ATOL:
+            continue
+        q = denom.get(key, 0.0)
+        if q <= MARGINAL_ATOL:
+            return float("inf")
+        supremum = max(supremum, float(np.log(p / q)))
+    return supremum
+
+
+def max_influence(
+    networks: Sequence[DiscreteBayesianNetwork],
+    quilt: MarkovQuilt,
+) -> float:
+    """``e_Theta(X_Q | X_i)`` of Definition 4.1, by exact enumeration.
+
+    ``networks`` is the class Theta: Bayesian networks sharing a DAG but with
+    possibly different CPDs.  The trivial quilt always has influence 0.
+    Secret values with zero marginal probability under a theta are skipped
+    for that theta (Definition 2.1 only constrains positive-probability
+    secrets).
+    """
+    if quilt.is_trivial or not quilt.quilt:
+        return 0.0
+    targets = sorted(quilt.quilt)
+    supremum = 0.0
+    for network in networks:
+        marginal = network.marginal_of(quilt.node)
+        values = [v for v in range(network.n_states(quilt.node)) if marginal[v] > MARGINAL_ATOL]
+        tables = {
+            value: network.conditional_table(targets, {quilt.node: value}) for value in values
+        }
+        for a in values:
+            for b in values:
+                if a == b:
+                    continue
+                supremum = max(supremum, _log_ratio_sup(tables[a], tables[b]))
+                if np.isinf(supremum):
+                    return float("inf")
+    return float(supremum)
+
+
+class MarkovQuiltMechanism(Mechanism):
+    """Algorithm 2 on a class of Bayesian networks.
+
+    Parameters
+    ----------
+    networks:
+        The class Theta (shared DAG, arbitrary CPDs).
+    epsilon:
+        Privacy parameter.
+    quilt_sets:
+        Optional mapping ``node -> list of MarkovQuilt``; defaults to the
+        distance-based candidates of
+        :meth:`DiscreteBayesianNetwork.distance_quilts` (which always include
+        the trivial quilt, as Theorem 4.3 requires).
+    max_radius:
+        Radius cap for the default quilt generation.
+    """
+
+    name = "MarkovQuilt"
+
+    def __init__(
+        self,
+        networks: Sequence[DiscreteBayesianNetwork],
+        epsilon: float,
+        *,
+        quilt_sets: Mapping[str, Sequence[MarkovQuilt]] | None = None,
+        max_radius: int | None = None,
+    ) -> None:
+        super().__init__(epsilon)
+        networks = list(networks)
+        if not networks:
+            raise ValidationError("Theta must contain at least one network")
+        nodes = networks[0].nodes
+        for network in networks[1:]:
+            if network.nodes != nodes:
+                raise ValidationError("all networks in Theta must share the same node set")
+        self.networks = networks
+        self.reference = networks[0]
+        if quilt_sets is None:
+            quilt_sets = {
+                node: self.reference.distance_quilts(node, max_radius) for node in nodes
+            }
+        else:
+            quilt_sets = {node: list(qs) for node, qs in quilt_sets.items()}
+            for node in nodes:
+                candidates = quilt_sets.setdefault(node, [])
+                if not any(q.is_trivial for q in candidates):
+                    # Theorem 4.3 requires the trivial quilt to be available.
+                    candidates.append(self.reference.trivial_quilt(node))
+        self.quilt_sets = quilt_sets
+        self._sigma_cache: dict[str, tuple[float, MarkovQuilt]] = {}
+
+    def sigma_for_node(self, node: str) -> tuple[float, MarkovQuilt]:
+        """``(sigma_i, active quilt)`` for one node (Definition 4.5)."""
+        if node not in self._sigma_cache:
+            best_score = float("inf")
+            best_quilt: MarkovQuilt | None = None
+            for quilt in self.quilt_sets[node]:
+                influence = max_influence(self.networks, quilt)
+                if influence < self.epsilon:
+                    score = quilt.card_nearby() / (self.epsilon - influence)
+                else:
+                    score = float("inf")
+                if score < best_score:
+                    best_score = score
+                    best_quilt = quilt
+            if best_quilt is None:  # pragma: no cover - trivial quilt always scores
+                raise PrivacyParameterError(f"no admissible quilt for node {node!r}")
+            self._sigma_cache[node] = (best_score, best_quilt)
+        return self._sigma_cache[node]
+
+    def sigma_max(self) -> float:
+        """``max_i sigma_i`` — the noise multiplier of Algorithm 2."""
+        return max(self.sigma_for_node(node)[0] for node in self.reference.nodes)
+
+    def active_quilts(self) -> dict[str, MarkovQuilt]:
+        """The active quilt of every node (used for composition accounting)."""
+        return {node: self.sigma_for_node(node)[1] for node in self.reference.nodes}
+
+    def noise_scale(self, query: Query, data: np.ndarray) -> float:
+        return query.lipschitz * self.sigma_max() / 1.0
+
+    def scale_details(self, query: Query, data: np.ndarray) -> dict:
+        worst = max(self.reference.nodes, key=lambda n: self.sigma_for_node(n)[0])
+        sigma, quilt = self.sigma_for_node(worst)
+        return {
+            "sigma_max": sigma,
+            "worst_node": worst,
+            "active_quilt": sorted(quilt.quilt),
+        }
+
+    def quilt_signature(self) -> tuple:
+        """Hashable fingerprint of the active quilts; two MQM releases
+        compose linearly when their signatures match (Theorem 4.4)."""
+        return tuple(
+            (node, tuple(sorted(self.sigma_for_node(node)[1].quilt)))
+            for node in self.reference.nodes
+        )

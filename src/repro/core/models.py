@@ -1,0 +1,319 @@
+"""Enumerable data models — the elements ``theta`` of ``Theta``.
+
+The Wasserstein Mechanism needs, for every secret ``s`` and every ``theta``,
+the conditional distribution of the query output ``P(F(X) | s, theta)``.
+For finite databases this is computable by enumeration.  Three model types
+cover the paper's use cases:
+
+* :class:`TabularDataModel` — an explicit joint table over record tuples
+  (used for toy instantiations and the robustness examples).
+* :class:`MarkovChainModel` — enumerates a short Markov chain (used to
+  cross-validate the chain-specialized mechanisms against Algorithm 1).
+* :class:`FluCliqueModel` — the flu-status model of Sections 2.2 and 3.1: a
+  union of cliques with a distribution over the number of infected people in
+  each clique, records exchangeable within a clique.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.framework import Secret
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import EnumerationError, ValidationError
+from repro.utils.validation import as_probability_vector
+
+#: Safety cap on the number of database realizations a model may enumerate.
+MAX_MODEL_SUPPORT = 2_000_000
+
+
+@runtime_checkable
+class DataModel(Protocol):
+    """Protocol for an enumerable belief ``theta`` about the database."""
+
+    n_records: int
+
+    def support(self) -> Iterable[tuple[tuple[int, ...], float]]:
+        """Yield ``(record_tuple, probability)`` over all realizations with
+        positive probability."""
+        ...  # pragma: no cover - protocol stub
+
+    def secret_probability(self, secret: Secret) -> float:
+        """``P(s | theta)``."""
+        ...  # pragma: no cover - protocol stub
+
+
+class TabularDataModel:
+    """An explicit joint distribution over record tuples.
+
+    Parameters
+    ----------
+    outcomes:
+        Sequence of record tuples (all the same length).
+    probs:
+        Probabilities matching ``outcomes``.
+    """
+
+    def __init__(
+        self,
+        outcomes: Sequence[Sequence[int]],
+        probs: Sequence[float] | np.ndarray,
+    ) -> None:
+        rows = [tuple(int(v) for v in outcome) for outcome in outcomes]
+        if not rows:
+            raise ValidationError("a tabular model needs at least one outcome")
+        lengths = {len(r) for r in rows}
+        if len(lengths) != 1:
+            raise ValidationError(f"all outcomes must have equal length, got lengths {sorted(lengths)}")
+        if len(set(rows)) != len(rows):
+            raise ValidationError("outcomes must be distinct; merge duplicated rows first")
+        self._rows = rows
+        self._probs = as_probability_vector(probs, "outcome probabilities")
+        if self._probs.size != len(rows):
+            raise ValidationError(
+                f"got {len(rows)} outcomes but {self._probs.size} probabilities"
+            )
+        self.n_records = len(rows[0])
+
+    @classmethod
+    def from_bayesnet(cls, network) -> "TabularDataModel":
+        """Materialize a :class:`~repro.distributions.bayesnet.DiscreteBayesianNetwork`."""
+        assignments, probs = network.enumerate_joint()
+        keep = probs > 0
+        rows = [a for a, k in zip(assignments, keep) if k]
+        return cls(rows, probs[keep] / probs[keep].sum())
+
+    def support(self) -> Iterable[tuple[tuple[int, ...], float]]:
+        for row, prob in zip(self._rows, self._probs):
+            if prob > 0:
+                yield row, float(prob)
+
+    def secret_probability(self, secret: Secret) -> float:
+        self._check_index(secret.index)
+        return float(
+            sum(p for row, p in zip(self._rows, self._probs) if row[secret.index] == secret.value)
+        )
+
+    def conditioned_on(self, secret: Secret) -> "TabularDataModel":
+        """The conditional model ``theta | s`` (used by Theorem 2.4)."""
+        mass = self.secret_probability(secret)
+        if mass <= 0:
+            raise ValidationError(f"secret {secret.describe()} has zero probability")
+        rows = []
+        probs = []
+        for row, prob in zip(self._rows, self._probs):
+            if row[secret.index] == secret.value and prob > 0:
+                rows.append(row)
+                probs.append(prob / mass)
+        return TabularDataModel(rows, np.asarray(probs))
+
+    def output_distribution(self, func) -> DiscreteDistribution:
+        """Pushforward distribution of a scalar function of the records."""
+        return DiscreteDistribution.from_pairs(
+            (float(func(np.asarray(row))), prob) for row, prob in self.support()
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_records:
+            raise ValidationError(
+                f"record index {index} out of range for {self.n_records} records"
+            )
+
+
+class MarkovChainModel:
+    """Exhaustive enumeration of a short Markov chain.
+
+    Only suitable for small ``k**T``; the chain-specialized mechanisms of
+    :mod:`repro.core.mqm_chain` handle realistic lengths.  This model exists
+    so the general mechanisms (Wasserstein, Algorithm 2) can be exercised and
+    cross-validated on chains.
+    """
+
+    def __init__(self, chain: MarkovChain, length: int) -> None:
+        if length < 1:
+            raise ValidationError(f"chain length must be >= 1, got {length}")
+        if chain.n_states**length > MAX_MODEL_SUPPORT:
+            raise EnumerationError(
+                f"enumerating {chain.n_states}^{length} trajectories exceeds the "
+                f"cap of {MAX_MODEL_SUPPORT}"
+            )
+        self.chain = chain
+        self.n_records = int(length)
+
+    def support(self) -> Iterable[tuple[tuple[int, ...], float]]:
+        k = self.chain.n_states
+        q = self.chain.initial
+        p = self.chain.transition
+        for trajectory in itertools.product(range(k), repeat=self.n_records):
+            prob = q[trajectory[0]]
+            for a, b in zip(trajectory[:-1], trajectory[1:]):
+                if prob == 0.0:
+                    break
+                prob *= p[a, b]
+            if prob > 0:
+                yield trajectory, float(prob)
+
+    def secret_probability(self, secret: Secret) -> float:
+        if not 0 <= secret.index < self.n_records:
+            raise ValidationError(
+                f"record index {secret.index} out of range for {self.n_records} records"
+            )
+        marginal = self.chain.marginal(secret.index)
+        if not 0 <= secret.value < self.chain.n_states:
+            return 0.0
+        return float(marginal[secret.value])
+
+    def to_tabular(self) -> TabularDataModel:
+        """Materialize as an explicit table."""
+        rows, probs = zip(*self.support())
+        return TabularDataModel(list(rows), np.asarray(probs) / np.sum(probs))
+
+
+class FluCliqueModel:
+    """The flu-status model: records partitioned into independent cliques.
+
+    Within a clique of size ``m`` the records are exchangeable 0/1 variables
+    whose sum ``N`` follows ``count_distribution`` (a length ``m+1`` vector).
+    Across cliques, counts are independent.  This matches the Section 2.2
+    example ``theta = (G_theta, p_theta)`` with ``G_theta`` a union of
+    cliques.
+
+    Parameters
+    ----------
+    clique_sizes:
+        Sizes of the cliques; records are numbered consecutively clique by
+        clique.
+    count_distributions:
+        One probability vector per clique over ``{0, ..., size}``.
+    """
+
+    def __init__(
+        self,
+        clique_sizes: Sequence[int],
+        count_distributions: Sequence[Sequence[float] | np.ndarray],
+    ) -> None:
+        if len(clique_sizes) != len(count_distributions):
+            raise ValidationError("need one count distribution per clique")
+        self.clique_sizes = [int(s) for s in clique_sizes]
+        if any(s < 1 for s in self.clique_sizes):
+            raise ValidationError("clique sizes must be >= 1")
+        self.count_distributions = []
+        for size, dist in zip(self.clique_sizes, count_distributions):
+            vec = as_probability_vector(dist, "count distribution")
+            if vec.size != size + 1:
+                raise ValidationError(
+                    f"count distribution for a clique of size {size} must have "
+                    f"{size + 1} entries, got {vec.size}"
+                )
+            self.count_distributions.append(vec)
+        self.n_records = sum(self.clique_sizes)
+        total = 1.0
+        for size in self.clique_sizes:
+            total *= 2**size
+        if total > MAX_MODEL_SUPPORT:
+            raise EnumerationError(
+                f"enumerating {total} flu configurations exceeds the cap of {MAX_MODEL_SUPPORT}"
+            )
+
+    @classmethod
+    def exponential_cliques(cls, clique_sizes: Sequence[int], rate: float = 2.0) -> "FluCliqueModel":
+        """The concrete example of Section 2.2: within each clique ``C`` the
+        infected count follows ``P(N = j) ∝ exp(rate * j)``."""
+        dists = []
+        for size in clique_sizes:
+            weights = np.exp(rate * np.arange(size + 1))
+            dists.append(weights / weights.sum())
+        return cls(clique_sizes, dists)
+
+    def _clique_of(self, index: int) -> tuple[int, int]:
+        """(clique id, offset of record within clique)."""
+        if not 0 <= index < self.n_records:
+            raise ValidationError(f"record index {index} out of range for {self.n_records} records")
+        offset = index
+        for cid, size in enumerate(self.clique_sizes):
+            if offset < size:
+                return cid, offset
+            offset -= size
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def support(self) -> Iterable[tuple[tuple[int, ...], float]]:
+        """Enumerate all 0/1 configurations.
+
+        Exchangeability within a clique means a configuration with ``j``
+        infected in a clique of size ``m`` has probability
+        ``count_distribution[j] / C(m, j)``.
+        """
+        per_clique_configs = []
+        for size, dist in zip(self.clique_sizes, self.count_distributions):
+            configs = []
+            for bits in itertools.product((0, 1), repeat=size):
+                j = sum(bits)
+                denom = _binomial(size, j)
+                configs.append((bits, dist[j] / denom))
+            per_clique_configs.append(configs)
+        for combo in itertools.product(*per_clique_configs):
+            bits: tuple[int, ...] = tuple(itertools.chain.from_iterable(c[0] for c in combo))
+            prob = 1.0
+            for c in combo:
+                prob *= c[1]
+            if prob > 0:
+                yield bits, float(prob)
+
+    def secret_probability(self, secret: Secret) -> float:
+        if secret.value not in (0, 1):
+            return 0.0
+        cid, _ = self._clique_of(secret.index)
+        size = self.clique_sizes[cid]
+        dist = self.count_distributions[cid]
+        # P(X_i = 1) = E[N] / m by exchangeability.
+        p_one = float(np.dot(np.arange(size + 1), dist) / size)
+        return p_one if secret.value == 1 else 1.0 - p_one
+
+    def conditional_count_distribution(self, secret: Secret) -> DiscreteDistribution:
+        """``P(N_c = . | X_i = value)`` for the clique containing the secret.
+
+        By exchangeability ``P(N = j | X_i = 1) ∝ (j / m) P(N = j)`` and
+        ``P(N = j | X_i = 0) ∝ ((m - j) / m) P(N = j)``; this reproduces the
+        conditional table of the Section 3.1 example.
+        """
+        cid, _ = self._clique_of(secret.index)
+        size = self.clique_sizes[cid]
+        dist = self.count_distributions[cid]
+        counts = np.arange(size + 1)
+        if secret.value == 1:
+            weights = dist * counts / size
+        elif secret.value == 0:
+            weights = dist * (size - counts) / size
+        else:
+            raise ValidationError(f"flu status must be 0 or 1, got {secret.value}")
+        total = weights.sum()
+        if total <= 0:
+            raise ValidationError(f"secret {secret.describe()} has zero probability")
+        return DiscreteDistribution(counts.astype(float), weights / total)
+
+    def total_count_distribution(self) -> DiscreteDistribution:
+        """Distribution of the total infected count across all cliques."""
+        result = DiscreteDistribution.point_mass(0.0)
+        for size, dist in zip(self.clique_sizes, self.count_distributions):
+            clique = DiscreteDistribution(np.arange(size + 1, dtype=float), dist)
+            result = _convolve(result, clique)
+        return result
+
+
+def _binomial(n: int, k: int) -> float:
+    out = 1.0
+    for i in range(k):
+        out = out * (n - i) / (i + 1)
+    return out
+
+
+def _convolve(a: DiscreteDistribution, b: DiscreteDistribution) -> DiscreteDistribution:
+    pairs = []
+    for x, px in zip(a.atoms, a.probs):
+        for y, py in zip(b.atoms, b.probs):
+            pairs.append((x + y, px * py))
+    return DiscreteDistribution.from_pairs(pairs)

@@ -1,0 +1,167 @@
+"""L1-Lipschitz queries (Definition 2.5).
+
+A query ``F : X^n -> R^k`` is L-Lipschitz in L1 norm when changing any single
+record changes ``||F||_1`` by at most ``L``.  The Lipschitz constant is what
+every mechanism in this library multiplies its noise scale by.
+
+Queries operate on 1-D integer state arrays (a single trajectory or the
+concatenation of all segments of a dataset); vector-valued queries return
+1-D float arrays.  Each query knows its own ``lipschitz`` constant and its
+``output_dim``.
+
+The two workhorse queries of the paper:
+
+* :class:`StateFrequencyQuery` — fraction of time spent in one state
+  (the scalar query of the synthetic experiment), ``L = 1/n``.
+* :class:`RelativeFrequencyHistogram` — fraction of time in every state
+  (the activity and electricity experiments), ``L = 2/n``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+
+class Query(ABC):
+    """A query with a known L1 Lipschitz constant."""
+
+    #: Lipschitz constant ``L`` in L1 norm (Definition 2.5).
+    lipschitz: float
+    #: Output dimension ``k`` (1 for scalar queries).
+    output_dim: int
+
+    @abstractmethod
+    def __call__(self, data: np.ndarray) -> float | np.ndarray:
+        """Evaluate the query on a 1-D array of record values."""
+
+    def describe(self) -> str:
+        """Human-readable rendering used in reports."""
+        return f"{type(self).__name__}(L={self.lipschitz:g}, k={self.output_dim})"
+
+
+class ScalarQuery(Query):
+    """Wrap an arbitrary scalar function with a declared Lipschitz constant.
+
+    The constant is trusted, not verified; prefer the specialized classes
+    when they fit.
+    """
+
+    def __init__(self, func: Callable[[np.ndarray], float], lipschitz: float) -> None:
+        self._func = func
+        self.lipschitz = check_positive(lipschitz, "lipschitz")
+        self.output_dim = 1
+
+    def __call__(self, data: np.ndarray) -> float:
+        return float(self._func(np.asarray(data)))
+
+
+class StateFrequencyQuery(Query):
+    """Fraction of records equal to ``state``: ``F(X) = (1/n) sum 1[X_t = state]``.
+
+    Changing one record changes the fraction by at most ``1/n``.
+    """
+
+    def __init__(self, state: int, n_records: int) -> None:
+        if n_records < 1:
+            raise ValidationError(f"n_records must be >= 1, got {n_records}")
+        self.state = int(state)
+        self.n_records = int(n_records)
+        self.lipschitz = 1.0 / self.n_records
+        self.output_dim = 1
+
+    def __call__(self, data: np.ndarray) -> float:
+        data = np.asarray(data)
+        if data.size != self.n_records:
+            raise ValidationError(
+                f"query was built for {self.n_records} records, got {data.size}"
+            )
+        return float(np.mean(data == self.state))
+
+
+class RelativeFrequencyHistogram(Query):
+    """Relative frequency of every state: ``F(X)_s = (1/n) sum 1[X_t = s]``.
+
+    Changing one record moves mass ``1/n`` from one bin to another, so the
+    L1 change is at most ``2/n`` — the constant used throughout Section 5.
+    """
+
+    def __init__(self, n_states: int, n_records: int) -> None:
+        if n_states < 1:
+            raise ValidationError(f"n_states must be >= 1, got {n_states}")
+        if n_records < 1:
+            raise ValidationError(f"n_records must be >= 1, got {n_records}")
+        self.n_states = int(n_states)
+        self.n_records = int(n_records)
+        self.lipschitz = 2.0 / self.n_records
+        self.output_dim = self.n_states
+
+    def __call__(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data)
+        if data.size != self.n_records:
+            raise ValidationError(
+                f"query was built for {self.n_records} records, got {data.size}"
+            )
+        return np.bincount(data, minlength=self.n_states).astype(float) / self.n_records
+
+
+class CountQuery(Query):
+    """Number of records satisfying a predicate; ``L = 1``.
+
+    The flu example's query ``sum_i X_i`` is ``CountQuery(lambda x: x == 1)``.
+    """
+
+    def __init__(self, predicate: Callable[[np.ndarray], np.ndarray] | None = None) -> None:
+        self._predicate = predicate
+        self.lipschitz = 1.0
+        self.output_dim = 1
+
+    def __call__(self, data: np.ndarray) -> float:
+        data = np.asarray(data)
+        if self._predicate is None:
+            return float(np.sum(data))
+        return float(np.sum(self._predicate(data)))
+
+
+class SumQuery(Query):
+    """Sum of records with values in ``[low, high]``; ``L = high - low``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ValidationError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self.lipschitz = self.high - self.low
+        self.output_dim = 1
+
+    def __call__(self, data: np.ndarray) -> float:
+        clipped = np.clip(np.asarray(data, dtype=float), self.low, self.high)
+        return float(clipped.sum())
+
+
+class MeanQuery(Query):
+    """Mean of records with values in ``[low, high]``; ``L = (high - low)/n``."""
+
+    def __init__(self, low: float, high: float, n_records: int) -> None:
+        if not high > low:
+            raise ValidationError(f"need high > low, got [{low}, {high}]")
+        if n_records < 1:
+            raise ValidationError(f"n_records must be >= 1, got {n_records}")
+        self.low = float(low)
+        self.high = float(high)
+        self.n_records = int(n_records)
+        self.lipschitz = (self.high - self.low) / self.n_records
+        self.output_dim = 1
+
+    def __call__(self, data: np.ndarray) -> float:
+        data = np.asarray(data, dtype=float)
+        if data.size != self.n_records:
+            raise ValidationError(
+                f"query was built for {self.n_records} records, got {data.size}"
+            )
+        return float(np.clip(data, self.low, self.high).mean())

@@ -1,0 +1,218 @@
+"""The Wasserstein Mechanism (Algorithm 1) — the paper's first contribution.
+
+For every admissible secret pair ``(s_i, s_j)`` and every ``theta`` in
+``Theta`` the mechanism computes the conditional query-output distributions
+``mu_{i,theta} = P(F(X) | s_i, theta)`` and ``mu_{j,theta}``, takes the
+supremum ``W`` of their infinity-Wasserstein distances, and releases
+``F(D) + Lap(W / epsilon)``.
+
+Theorem 3.2 shows this is epsilon-Pufferfish private; Theorem 3.3 shows ``W``
+never exceeds the global sensitivity of the corresponding group-DP framework
+(we expose :func:`group_sensitivity` so tests can verify the inequality).
+
+The computation enumerates model supports, which is exactly the
+computational cost the paper attributes to the mechanism; realistic chains
+should use :mod:`repro.core.mqm_chain`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.framework import PufferfishInstantiation, Secret, SecretPair
+from repro.core.laplace import Mechanism
+from repro.core.models import DataModel
+from repro.core.queries import Query
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.metrics import w_infinity
+from repro.exceptions import EnumerationError, ValidationError
+
+
+def conditional_output_distribution(
+    model: DataModel, query: Query, secret: Secret
+) -> DiscreteDistribution:
+    """``P(F(X) = . | secret, theta)`` by enumerating the model's support."""
+    pairs = []
+    total = 0.0
+    for row, prob in model.support():
+        if row[secret.index] == secret.value:
+            pairs.append((float(query(np.asarray(row))), prob))
+            total += prob
+    if total <= 0:
+        raise ValidationError(f"secret {secret.describe()} has zero probability under theta")
+    return DiscreteDistribution.from_pairs((v, p / total) for v, p in pairs)
+
+
+@dataclass(frozen=True)
+class WassersteinDetail:
+    """One (pair, theta) evaluation inside the Wasserstein supremum."""
+
+    pair: SecretPair
+    theta_index: int
+    distance: float
+
+
+def wasserstein_bound(
+    instantiation: PufferfishInstantiation,
+    query: Query,
+    *,
+    return_details: bool = False,
+) -> float | tuple[float, list[WassersteinDetail]]:
+    """The supremum ``W`` of Algorithm 1 for a scalar query.
+
+    Iterates all admissible secret pairs and all models, exactly as the
+    algorithm's loop does.
+    """
+    if query.output_dim != 1:
+        raise ValidationError("the Wasserstein Mechanism is defined for scalar queries")
+    details: list[WassersteinDetail] = []
+    supremum = 0.0
+    for theta_index, model in enumerate(instantiation.models):
+        # Conditional output distributions are reused across the pairs that
+        # share a secret, so cache them per model.
+        cache: dict[Secret, DiscreteDistribution] = {}
+
+        def conditional(secret: Secret, model=model, cache=cache) -> DiscreteDistribution:
+            if secret not in cache:
+                cache[secret] = conditional_output_distribution(model, query, secret)
+            return cache[secret]
+
+        for pair in instantiation.admissible_pairs(model):
+            distance = w_infinity(conditional(pair.left), conditional(pair.right))
+            supremum = max(supremum, distance)
+            if return_details:
+                details.append(WassersteinDetail(pair, theta_index, distance))
+    if return_details:
+        return supremum, details
+    return supremum
+
+
+class WassersteinMechanism(Mechanism):
+    """Algorithm 1: release ``F(D) + Lap(W / epsilon)``.
+
+    Parameters
+    ----------
+    instantiation:
+        The Pufferfish framework ``(S, Q, Theta)`` with enumerable models.
+    epsilon:
+        Privacy parameter.
+    """
+
+    name = "Wasserstein"
+
+    def __init__(self, instantiation: PufferfishInstantiation, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self.instantiation = instantiation
+        self._bound_cache: dict[int, float] = {}
+
+    def wasserstein_distance_bound(self, query: Query) -> float:
+        """The supremum ``W`` for ``query`` (cached per query object)."""
+        key = id(query)
+        if key not in self._bound_cache:
+            self._bound_cache[key] = float(wasserstein_bound(self.instantiation, query))
+        return self._bound_cache[key]
+
+    def noise_scale(self, query: Query, data: np.ndarray) -> float:
+        return self.wasserstein_distance_bound(query) / self.epsilon
+
+    def scale_details(self, query: Query, data: np.ndarray) -> dict:
+        return {"wasserstein_bound": self.wasserstein_distance_bound(query)}
+
+
+def group_sensitivity(
+    query: Query,
+    n_values: int,
+    n_records: int,
+    groups: Sequence[Sequence[int]],
+    *,
+    max_enumeration: int = 2_000_000,
+) -> float:
+    """Exact global sensitivity of ``query`` in a group-DP framework.
+
+    Definition B.1: ``Delta_G F = max_k max |F(x) - F(y)|`` over database
+    pairs ``(x, y)`` that differ only in the records of group ``G_k``.
+    Computed by brute-force enumeration over the discrete domain
+    ``{0..n_values-1}^n_records`` — intended for the small instantiations
+    used to validate Theorem 3.3.
+    """
+    if n_values**n_records > max_enumeration:
+        raise EnumerationError(
+            f"group sensitivity enumeration of {n_values}**{n_records} databases "
+            f"exceeds the cap of {max_enumeration}"
+        )
+    indices = list(range(n_records))
+    sensitivity = 0.0
+    for group in groups:
+        group = sorted(set(group))
+        complement = [i for i in indices if i not in group]
+        # Group databases by the values outside the group; within each class
+        # record the query range (max - min) over group assignments.
+        extremes: dict[tuple[int, ...], tuple[float, float]] = {}
+        for assignment in itertools.product(range(n_values), repeat=n_records):
+            value = float(query(np.asarray(assignment)))
+            key = tuple(assignment[i] for i in complement)
+            low, high = extremes.get(key, (value, value))
+            extremes[key] = (min(low, value), max(high, value))
+        for low, high in extremes.values():
+            sensitivity = max(sensitivity, high - low)
+    return sensitivity
+
+
+def independence_groups(models: Sequence[DataModel], *, tol: float = 1e-12) -> list[list[int]]:
+    """Partition record indices into groups that are mutually independent
+    under every model in ``Theta`` (the construction of Appendix B.1).
+
+    Two records are joined when their joint distribution deviates from the
+    product of marginals under any model; groups are the connected
+    components of that relation.
+    """
+    if not models:
+        raise ValidationError("need at least one model")
+    n = models[0].n_records
+    adjacency = np.zeros((n, n), dtype=bool)
+    for model in models:
+        rows = []
+        probs = []
+        for row, prob in model.support():
+            rows.append(row)
+            probs.append(prob)
+        arr = np.asarray(rows)
+        weights = np.asarray(probs)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if adjacency[i, j]:
+                    continue
+                if _dependent(arr[:, i], arr[:, j], weights, tol):
+                    adjacency[i, j] = adjacency[j, i] = True
+    groups: list[list[int]] = []
+    seen: set[int] = set()
+    for start in range(n):
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in np.flatnonzero(adjacency[node]):
+                if nxt not in component:
+                    component.add(int(nxt))
+                    frontier.append(int(nxt))
+        seen |= component
+        groups.append(sorted(component))
+    return groups
+
+
+def _dependent(col_i: np.ndarray, col_j: np.ndarray, weights: np.ndarray, tol: float) -> bool:
+    values_i = np.unique(col_i)
+    values_j = np.unique(col_j)
+    for a in values_i:
+        for b in values_j:
+            joint = float(weights[(col_i == a) & (col_j == b)].sum())
+            product = float(weights[col_i == a].sum()) * float(weights[col_j == b].sum())
+            if abs(joint - product) > tol:
+                return True
+    return False

@@ -1,0 +1,30 @@
+"""Datasets: segmented time-series containers, synthetic chain data, the
+simulated physical-activity cohorts, the simulated household power data, and
+empirical chain estimation."""
+
+from repro.data.activity import (
+    ACTIVITY_STATES,
+    CohortProfile,
+    default_cohorts,
+    generate_cohort,
+    generate_study,
+)
+from repro.data.datasets import Participant, StudyGroup, TimeSeriesDataset
+from repro.data.estimation import empirical_chain
+from repro.data.power import default_power_chain, generate_power_dataset
+from repro.data.synthetic import sample_binary_dataset
+
+__all__ = [
+    "ACTIVITY_STATES",
+    "CohortProfile",
+    "Participant",
+    "StudyGroup",
+    "TimeSeriesDataset",
+    "default_cohorts",
+    "default_power_chain",
+    "empirical_chain",
+    "generate_cohort",
+    "generate_power_dataset",
+    "generate_study",
+    "sample_binary_dataset",
+]

@@ -1,0 +1,183 @@
+"""Simulated physical-activity cohorts (substitute for Ellis et al.).
+
+The paper's activity dataset (Section 5.3.1) is not redistributable, so we
+synthesize cohorts with the same statistical profile — see DESIGN.md
+Section 4 for the substitution rationale.  Matching properties:
+
+* three cohorts: 40 cyclists, 16 older women, 36 overweight women;
+* four activities — active, standing still, standing moving, sedentary —
+  sampled roughly every 12 seconds while participants are awake;
+* around 9-10k observations per person on average, recorded in segments
+  (gaps over 10 minutes start a new independent chain, which also bounds
+  GroupDP's group size by the longest segment);
+* very sticky transition matrices (activities persist for minutes), with the
+  cohort-level stationary profiles visible in Figure 4's lower row:
+  cyclists spend the most time active, overweight women the most sedentary.
+
+Per-participant heterogeneity perturbs the cohort matrix so the estimated
+group transition matrix (the experiments' ``theta``) is not exactly the
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Participant, StudyGroup
+from repro.data.datasets import TimeSeriesDataset
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+from repro.utils.rngtools import resolve_rng
+from repro.utils.validation import as_transition_matrix
+
+#: Activity labels, in state order.
+ACTIVITY_STATES = ("active", "stand_still", "stand_moving", "sedentary")
+
+
+def _sticky_matrix(stay: np.ndarray, attraction: np.ndarray) -> np.ndarray:
+    """Build a sticky transition matrix from per-state self-loop
+    probabilities and a leave-destination profile."""
+    k = stay.size
+    matrix = np.zeros((k, k))
+    for state in range(k):
+        weights = attraction.copy()
+        weights[state] = 0.0
+        weights = weights / weights.sum()
+        matrix[state] = weights * (1.0 - stay[state])
+        matrix[state, state] = stay[state]
+    return as_transition_matrix(matrix)
+
+
+@dataclass(frozen=True)
+class CohortProfile:
+    """Generative profile of one cohort."""
+
+    name: str
+    n_participants: int
+    transition: np.ndarray
+    mean_observations: int = 9500
+    mean_segments: int = 14
+    heterogeneity: float = 0.15
+
+    def chain(self) -> MarkovChain:
+        """The cohort-level chain, started at stationarity."""
+        base = MarkovChain(
+            np.full(len(ACTIVITY_STATES), 1.0 / len(ACTIVITY_STATES)),
+            self.transition,
+            ACTIVITY_STATES,
+        )
+        return base.with_stationary_initial()
+
+
+def default_cohorts() -> list[CohortProfile]:
+    """The three cohorts of the activity experiments.
+
+    Self-loop probabilities near 0.99 encode multi-minute activity bouts at
+    12-second sampling; the leave-destination profile shapes the stationary
+    distribution to match the qualitative Figure 4 patterns.
+    """
+    cyclist = _sticky_matrix(
+        stay=np.array([0.990, 0.972, 0.975, 0.988]),
+        attraction=np.array([0.38, 0.14, 0.18, 0.30]),
+    )
+    older = _sticky_matrix(
+        stay=np.array([0.978, 0.975, 0.973, 0.992]),
+        attraction=np.array([0.12, 0.18, 0.20, 0.50]),
+    )
+    overweight = _sticky_matrix(
+        stay=np.array([0.972, 0.974, 0.970, 0.994]),
+        attraction=np.array([0.08, 0.15, 0.15, 0.62]),
+    )
+    return [
+        CohortProfile("cyclist", 40, cyclist),
+        CohortProfile("older_woman", 16, older),
+        CohortProfile("overweight_woman", 36, overweight),
+    ]
+
+
+def _participant_chain(profile: CohortProfile, rng: np.random.Generator) -> MarkovChain:
+    """Perturb the cohort matrix multiplicatively for one participant."""
+    noise = rng.lognormal(mean=0.0, sigma=profile.heterogeneity, size=profile.transition.shape)
+    perturbed = profile.transition * noise
+    perturbed = perturbed / perturbed.sum(axis=1, keepdims=True)
+    chain = MarkovChain(
+        np.full(len(ACTIVITY_STATES), 1.0 / len(ACTIVITY_STATES)),
+        perturbed,
+        ACTIVITY_STATES,
+    )
+    return chain.with_stationary_initial()
+
+
+def _segment_lengths(
+    total: int, n_segments: int, rng: np.random.Generator
+) -> list[int]:
+    """Split ``total`` observations into lognormal-ish segment lengths."""
+    weights = rng.lognormal(mean=0.0, sigma=0.9, size=n_segments)
+    raw = np.maximum(1, np.round(weights / weights.sum() * total).astype(int))
+    # Fix rounding drift on the largest segment.
+    raw[np.argmax(raw)] += total - int(raw.sum())
+    return [int(v) for v in raw if v >= 1]
+
+
+def generate_participant(
+    profile: CohortProfile,
+    participant_id: str,
+    rng: "int | np.random.Generator | None" = None,
+) -> Participant:
+    """One participant's segmented recording."""
+    gen = resolve_rng(rng)
+    chain = _participant_chain(profile, gen)
+    total = max(
+        200, int(gen.normal(profile.mean_observations, profile.mean_observations * 0.12))
+    )
+    n_segments = max(1, int(gen.poisson(profile.mean_segments)))
+    lengths = _segment_lengths(total, n_segments, gen)
+    segments = chain.sample_segments(lengths, gen)
+    dataset = TimeSeriesDataset(segments, len(ACTIVITY_STATES), participant_id)
+    return Participant(participant_id, dataset)
+
+
+def generate_cohort(
+    profile: CohortProfile,
+    rng: "int | np.random.Generator | None" = None,
+) -> StudyGroup:
+    """A full cohort of ``profile.n_participants`` participants."""
+    if profile.n_participants < 1:
+        raise ValidationError("cohort needs at least one participant")
+    gen = resolve_rng(rng)
+    participants = [
+        generate_participant(profile, f"{profile.name}-{index:03d}", gen)
+        for index in range(profile.n_participants)
+    ]
+    return StudyGroup(profile.name, participants)
+
+
+def generate_study(
+    rng: "int | np.random.Generator | None" = None,
+    *,
+    scale: float = 1.0,
+    size_scale: float = 1.0,
+) -> list[StudyGroup]:
+    """All three cohorts.
+
+    ``scale`` < 1 shrinks cohort sizes (fewer participants; used by the fast
+    benchmark configurations).  Recording lengths are controlled separately
+    by ``size_scale`` — shrinking them below ~0.5 breaks the Markov-quilt
+    feasibility regime the paper's data sits in (segments must be longer
+    than the optimal quilt extent), so benchmarks keep it at 1.0.
+    """
+    gen = resolve_rng(rng)
+    groups = []
+    for profile in default_cohorts():
+        scaled = CohortProfile(
+            name=profile.name,
+            n_participants=max(2, int(round(profile.n_participants * scale))),
+            transition=profile.transition,
+            mean_observations=max(200, int(round(profile.mean_observations * size_scale))),
+            mean_segments=max(1, int(round(profile.mean_segments * min(1.0, size_scale * 2)))),
+            heterogeneity=profile.heterogeneity,
+        )
+        groups.append(generate_cohort(scaled, gen))
+    return groups

@@ -1,0 +1,159 @@
+"""Time-series dataset containers.
+
+The experiments treat a recording as a set of independent Markov-chain
+*segments*: the activity data splits whenever a gap exceeds 10 minutes
+("we treat gaps of more than 10 minutes as the starting point of a new
+independent Markov Chain", Section 5.3.1), and the electricity data is a
+single million-step segment.
+
+:class:`TimeSeriesDataset` carries the segments plus the state-space size;
+mechanisms read ``segment_lengths`` (noise calibration) and queries read
+``concatenated`` (evaluation).  :class:`Participant` and :class:`StudyGroup`
+model the cohort structure of the activity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import as_state_sequence
+
+
+@dataclass
+class TimeSeriesDataset:
+    """Independent integer-state segments over a common state space."""
+
+    segments: list[np.ndarray]
+    n_states: int
+    name: str = ""
+    _concatenated: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_states < 1:
+            raise ValidationError(f"n_states must be >= 1, got {self.n_states}")
+        cleaned = []
+        for segment in self.segments:
+            seq = as_state_sequence(segment, self.n_states, "segment")
+            if seq.size:
+                cleaned.append(seq)
+        if not cleaned:
+            raise ValidationError("dataset needs at least one non-empty segment")
+        self.segments = cleaned
+
+    @classmethod
+    def from_sequence(
+        cls, values: Sequence[int] | np.ndarray, n_states: int, name: str = ""
+    ) -> "TimeSeriesDataset":
+        """Single-segment dataset."""
+        return cls([np.asarray(values)], n_states, name)
+
+    @classmethod
+    def from_timestamps(
+        cls,
+        values: Sequence[int] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+        n_states: int,
+        *,
+        gap_threshold: float,
+        name: str = "",
+    ) -> "TimeSeriesDataset":
+        """Split a recording into segments wherever consecutive timestamps
+        differ by more than ``gap_threshold`` (the paper's 10-minute rule)."""
+        values = np.asarray(values)
+        times = np.asarray(timestamps, dtype=float)
+        if values.shape != times.shape:
+            raise ValidationError("values and timestamps must align")
+        if values.size == 0:
+            raise ValidationError("empty recording")
+        order = np.argsort(times, kind="stable")
+        values = values[order]
+        times = times[order]
+        breaks = np.flatnonzero(np.diff(times) > gap_threshold) + 1
+        segments = np.split(values, breaks)
+        return cls(list(segments), n_states, name)
+
+    @property
+    def segment_lengths(self) -> tuple[int, ...]:
+        """Lengths of the independent segments."""
+        return tuple(int(s.size) for s in self.segments)
+
+    @property
+    def n_observations(self) -> int:
+        """Total number of records across segments."""
+        return int(sum(self.segment_lengths))
+
+    @property
+    def longest_segment(self) -> int:
+        """Length of the longest segment (GroupDP's group size)."""
+        return int(max(self.segment_lengths))
+
+    @property
+    def concatenated(self) -> np.ndarray:
+        """All records in one array (cached)."""
+        if self._concatenated is None or self._concatenated.size != self.n_observations:
+            self._concatenated = np.concatenate(self.segments)
+        return self._concatenated
+
+    def relative_frequencies(self) -> np.ndarray:
+        """Exact relative-frequency histogram over states."""
+        counts = np.bincount(self.concatenated, minlength=self.n_states)
+        return counts.astype(float) / self.n_observations
+
+    def merged_with(self, other: "TimeSeriesDataset", name: str = "") -> "TimeSeriesDataset":
+        """Union of two datasets' segments (same state space required)."""
+        if other.n_states != self.n_states:
+            raise ValidationError(
+                f"cannot merge datasets with {self.n_states} and {other.n_states} states"
+            )
+        return TimeSeriesDataset(self.segments + other.segments, self.n_states, name)
+
+    def __len__(self) -> int:
+        return self.n_observations
+
+
+@dataclass
+class Participant:
+    """One study participant and their recording."""
+
+    participant_id: str
+    dataset: TimeSeriesDataset
+
+
+@dataclass
+class StudyGroup:
+    """A named cohort of participants (cyclists, older women, ...)."""
+
+    name: str
+    participants: list[Participant]
+
+    def __post_init__(self) -> None:
+        if not self.participants:
+            raise ValidationError(f"study group {self.name!r} has no participants")
+        sizes = {p.dataset.n_states for p in self.participants}
+        if len(sizes) != 1:
+            raise ValidationError("all participants must share one state space")
+
+    @property
+    def n_states(self) -> int:
+        """State-space size shared by the cohort."""
+        return self.participants[0].dataset.n_states
+
+    @property
+    def n_participants(self) -> int:
+        """Cohort size."""
+        return len(self.participants)
+
+    def pooled_dataset(self) -> TimeSeriesDataset:
+        """All participants' segments pooled (the aggregate task's input)."""
+        segments: list[np.ndarray] = []
+        for participant in self.participants:
+            segments.extend(participant.dataset.segments)
+        return TimeSeriesDataset(segments, self.n_states, f"{self.name}-pooled")
+
+    def participant_sizes(self) -> list[int]:
+        """Observations per participant (drives the DP baseline)."""
+        return [p.dataset.n_observations for p in self.participants]

@@ -1,0 +1,47 @@
+"""Empirical Markov-chain estimation.
+
+The real-data experiments (Section 5.3) take ``Theta`` to be the singleton
+``{(q_theta, P_theta)}`` where ``P_theta`` is the empirical transition matrix
+of the dataset and ``q_theta`` its stationary distribution.  This module
+wraps :meth:`MarkovChain.from_segments` with the dataset container and adds
+the small Laplace smoothing that keeps the estimated chain irreducible and
+aperiodic (a requirement of MQMApprox's mixing bounds; raw counts can leave
+unvisited states or structurally zero transitions).
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import StudyGroup, TimeSeriesDataset
+from repro.distributions.markov import MarkovChain
+
+
+def empirical_chain(
+    data: TimeSeriesDataset | StudyGroup,
+    *,
+    smoothing: float = 0.5,
+    initial: str = "stationary",
+) -> MarkovChain:
+    """Estimate ``(q, P)`` from a dataset or a whole study group.
+
+    Parameters
+    ----------
+    data:
+        A dataset, or a :class:`StudyGroup` whose participants' segments are
+        pooled (the paper estimates "a single empirical transition matrix
+        based on the entire group").
+    smoothing:
+        Additive count smoothing; 0 disables it.
+    initial:
+        Passed to :meth:`MarkovChain.from_segments` (default: stationary,
+        matching the experiments).
+    """
+    if isinstance(data, StudyGroup):
+        dataset = data.pooled_dataset()
+    else:
+        dataset = data
+    return MarkovChain.from_segments(
+        dataset.segments,
+        dataset.n_states,
+        smoothing=smoothing,
+        initial=initial,
+    )

@@ -1,0 +1,30 @@
+"""Synthetic binary-chain data for the Section 5.2 simulations.
+
+The paper's protocol: given a family ``Theta = [alpha, beta]``, draw
+``p0, p1`` uniformly from ``[alpha, beta]`` and an initial distribution
+uniformly from the probability simplex, then sample a length-T trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import TimeSeriesDataset
+from repro.distributions.chain_family import IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+from repro.utils.rngtools import resolve_rng
+
+
+def sample_binary_dataset(
+    family: IntervalChainFamily,
+    length: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> tuple[TimeSeriesDataset, MarkovChain]:
+    """One synthetic trajectory plus the chain that generated it."""
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    gen = resolve_rng(rng)
+    theta = family.sample_theta(gen)
+    data = theta.sample(length, gen)
+    return TimeSeriesDataset.from_sequence(data, family.n_states, "synthetic"), theta

@@ -1,0 +1,33 @@
+"""Probability substrates: discrete distributions, Markov chains, chain
+families (the distribution classes Theta of a Pufferfish instantiation) and
+discrete Bayesian networks."""
+
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.distributions.chain_family import (
+    ChainFamily,
+    FiniteChainFamily,
+    IntervalChainFamily,
+)
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.markov import MarkovChain
+from repro.distributions.metrics import (
+    kl_divergence,
+    max_divergence,
+    symmetric_max_divergence,
+    total_variation,
+    w_infinity,
+)
+
+__all__ = [
+    "ChainFamily",
+    "DiscreteBayesianNetwork",
+    "DiscreteDistribution",
+    "FiniteChainFamily",
+    "IntervalChainFamily",
+    "MarkovChain",
+    "kl_divergence",
+    "max_divergence",
+    "symmetric_max_divergence",
+    "total_variation",
+    "w_infinity",
+]

@@ -1,0 +1,444 @@
+"""Discrete Bayesian networks.
+
+Section 4 of the paper works with databases ``X = (X_1, ..., X_n)`` whose
+dependence is a Bayesian network ``G = (X, E)``:
+
+``P(X_1, ..., X_n) = prod_i P(X_i | parent(X_i))``.
+
+This module implements the substrate needed by the general Markov Quilt
+Mechanism (Algorithm 2):
+
+* CPD storage and validation, topological ordering,
+* exact joint enumeration (for moderate networks; guarded by a safety cap),
+* conditional distributions ``P(X_A | X_i = a)``,
+* Markov blankets and **d-separation** (via moralized ancestral graphs),
+  which certifies condition 2 of Definition 4.2 (``X_R`` independent of
+  ``X_i`` given ``X_Q``) *for every* distribution that factorizes over G,
+* automatic generation of Markov-quilt candidates by graph distance.
+
+Nodes are identified by string names; each node has a finite number of
+states labelled ``0..k-1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import EnumerationError, ValidationError
+
+#: Refuse to enumerate joints with more than this many assignments.
+MAX_JOINT_SIZE = 2_000_000
+
+
+@dataclass(frozen=True)
+class MarkovQuilt:
+    """A Markov quilt ``(X_N, X_Q, X_R)`` for a node (Definition 4.2).
+
+    ``quilt`` separates the protected node's "nearby" set ``nearby`` (which
+    contains the node itself) from the "remote" set ``remote``.
+    """
+
+    node: str
+    quilt: frozenset[str]
+    nearby: frozenset[str]
+    remote: frozenset[str]
+
+    @property
+    def is_trivial(self) -> bool:
+        """The trivial quilt has an empty ``X_Q`` and ``X_R`` (everything is
+        nearby); always admissible with max-influence 0."""
+        return not self.quilt and not self.remote
+
+    def card_nearby(self) -> int:
+        """``card(X_N)`` — the count entering the quilt's score."""
+        return len(self.nearby)
+
+
+class DiscreteBayesianNetwork:
+    """A Bayesian network over discrete variables with explicit CPDs.
+
+    Build incrementally::
+
+        net = DiscreteBayesianNetwork()
+        net.add_node("X1", 2, cpd=[0.7, 0.3])
+        net.add_node("X2", 2, parents=["X1"], cpd=[[0.9, 0.1], [0.2, 0.8]])
+
+    ``cpd`` for a node with parents ``(P1, ..., Pm)`` is an array of shape
+    ``(k_{P1}, ..., k_{Pm}, k_node)`` whose last axis sums to one.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[str, int] = {}
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._cpds: dict[str, np.ndarray] = {}
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        n_states: int,
+        *,
+        parents: Sequence[str] = (),
+        cpd: Sequence | np.ndarray,
+    ) -> None:
+        """Add a node with its conditional probability distribution.
+
+        Parents must already exist (this enforces acyclicity for free since
+        nodes are added in topological order).
+        """
+        if name in self._states:
+            raise ValidationError(f"node {name!r} already exists")
+        if n_states < 1:
+            raise ValidationError(f"node {name!r} needs at least one state")
+        for parent in parents:
+            if parent not in self._states:
+                raise ValidationError(
+                    f"parent {parent!r} of {name!r} must be added before its child"
+                )
+        expected_shape = tuple(self._states[p] for p in parents) + (n_states,)
+        table = np.asarray(cpd, dtype=float)
+        if table.shape != expected_shape:
+            raise ValidationError(
+                f"cpd for {name!r} must have shape {expected_shape}, got {table.shape}"
+            )
+        if np.any(table < 0) or not np.allclose(table.sum(axis=-1), 1.0, atol=1e-8):
+            raise ValidationError(f"cpd for {name!r} must be non-negative with last axis summing to 1")
+        self._states[name] = int(n_states)
+        self._parents[name] = tuple(parents)
+        self._cpds[name] = table / table.sum(axis=-1, keepdims=True)
+        self._order.append(name)
+
+    @classmethod
+    def chain(cls, initial: np.ndarray, transition: np.ndarray, length: int) -> "DiscreteBayesianNetwork":
+        """The Markov-chain network ``X1 -> X2 -> ... -> XT`` used throughout
+        Section 4.4; nodes are named ``X1 .. X{length}``."""
+        if length < 1:
+            raise ValidationError(f"chain length must be >= 1, got {length}")
+        initial = np.asarray(initial, dtype=float)
+        transition = np.asarray(transition, dtype=float)
+        k = initial.size
+        net = cls()
+        net.add_node("X1", k, cpd=initial)
+        for t in range(2, length + 1):
+            net.add_node(f"X{t}", k, parents=[f"X{t-1}"], cpd=transition)
+        return net
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Node names in insertion (topological) order."""
+        return tuple(self._order)
+
+    def n_states(self, name: str) -> int:
+        """Number of states of ``name``."""
+        return self._states[name]
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        """Parents of ``name``."""
+        return self._parents[name]
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """Children of ``name`` in insertion order."""
+        return tuple(n for n in self._order if name in self._parents[n])
+
+    def cpd(self, name: str) -> np.ndarray:
+        """The CPD table of ``name`` (copy)."""
+        return self._cpds[name].copy()
+
+    def markov_blanket(self, name: str) -> frozenset[str]:
+        """Parents, children, and co-parents of ``name``."""
+        blanket: set[str] = set(self._parents[name])
+        for child in self.children(name):
+            blanket.add(child)
+            blanket.update(self._parents[child])
+        blanket.discard(name)
+        return frozenset(blanket)
+
+    def undirected_neighbors(self, name: str) -> frozenset[str]:
+        """Neighbors in the undirected skeleton (parents and children)."""
+        return frozenset(self._parents[name]) | frozenset(self.children(name))
+
+    # ------------------------------------------------------------------
+    # d-separation (moralized ancestral graph method)
+    # ------------------------------------------------------------------
+    def is_d_separated(self, x: str, targets: Iterable[str], given: Iterable[str]) -> bool:
+        """True when every node in ``targets`` is d-separated from ``x`` by
+        ``given``; certifies ``P(targets | given, x) = P(targets | given)``
+        for all distributions factorizing over this DAG.
+        """
+        targets = set(targets)
+        given = set(given)
+        if x in targets:
+            return False
+        if not targets:
+            return True
+        relevant = {x} | targets | given
+        ancestral = self._ancestral_closure(relevant)
+        adjacency = self._moralized_adjacency(ancestral)
+        # BFS from x avoiding the separator.
+        visited = {x}
+        frontier = [x]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):  # pragma: no branch
+                if nxt in given or nxt in visited:
+                    continue
+                if nxt in targets:
+                    return False
+                visited.add(nxt)
+                frontier.append(nxt)
+        return True
+
+    def _ancestral_closure(self, seed: set[str]) -> set[str]:
+        closure = set(seed)
+        frontier = list(seed)
+        while frontier:
+            node = frontier.pop()
+            for parent in self._parents[node]:
+                if parent not in closure:
+                    closure.add(parent)
+                    frontier.append(parent)
+        return closure
+
+    def _moralized_adjacency(self, subset: set[str]) -> dict[str, set[str]]:
+        adjacency: dict[str, set[str]] = {n: set() for n in subset}
+        for node in subset:
+            parents = [p for p in self._parents[node] if p in subset]
+            for parent in parents:
+                adjacency[node].add(parent)
+                adjacency[parent].add(node)
+            # Marry co-parents.
+            for a, b in itertools.combinations(parents, 2):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Markov quilt candidates
+    # ------------------------------------------------------------------
+    def trivial_quilt(self, node: str) -> MarkovQuilt:
+        """The always-valid quilt with ``X_Q = {}`` and ``X_N = X``."""
+        return MarkovQuilt(
+            node=node,
+            quilt=frozenset(),
+            nearby=frozenset(self._order),
+            remote=frozenset(),
+        )
+
+    def quilt_from_set(self, node: str, quilt_nodes: Iterable[str]) -> MarkovQuilt | None:
+        """Build the quilt induced by a candidate separator set.
+
+        ``X_N`` is the set of nodes still connected to ``node`` in the
+        skeleton after deleting ``quilt_nodes``; ``X_R`` is the rest.  Returns
+        ``None`` when d-separation fails (the candidate is not a valid quilt).
+        """
+        quilt_set = frozenset(quilt_nodes) - {node}
+        remaining = [n for n in self._order if n not in quilt_set]
+        # Connected component of `node` in the skeleton minus the quilt.
+        component = {node}
+        frontier = [node]
+        remaining_set = set(remaining)
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.undirected_neighbors(current):
+                if nxt in remaining_set and nxt not in component:
+                    component.add(nxt)
+                    frontier.append(nxt)
+        remote = frozenset(remaining_set - component)
+        if remote and not self.is_d_separated(node, remote, quilt_set):
+            return None
+        return MarkovQuilt(node=node, quilt=quilt_set, nearby=frozenset(component), remote=remote)
+
+    def distance_quilts(self, node: str, max_radius: int | None = None) -> list[MarkovQuilt]:
+        """Quilt candidates by skeleton distance plus the trivial quilt.
+
+        For each radius ``r`` the candidate separator is the set of nodes at
+        skeleton distance exactly ``r`` from ``node``; its validity is
+        certified by d-separation.  For chains this generates the symmetric
+        two-sided quilts ``{X_{i-r}, X_{i+r}}``; :mod:`repro.core.mqm_chain`
+        generates the richer asymmetric set of Lemma 4.6.
+        """
+        distances = self._skeleton_distances(node)
+        finite = [d for d in distances.values() if np.isfinite(d) and d > 0]
+        radii = sorted(set(int(d) for d in finite))
+        if max_radius is not None:
+            radii = [r for r in radii if r <= max_radius]
+        quilts = [self.trivial_quilt(node)]
+        for radius in radii:
+            separator = {n for n, d in distances.items() if d == radius}
+            candidate = self.quilt_from_set(node, separator)
+            if candidate is not None and not candidate.is_trivial:
+                quilts.append(candidate)
+        return quilts
+
+    def is_path_graph(self) -> bool:
+        """True when the skeleton is a simple path (a Markov chain)."""
+        degrees = [len(self.undirected_neighbors(n)) for n in self._order]
+        if len(self._order) == 1:
+            return True
+        return sorted(degrees)[:2] == [1, 1] and all(d <= 2 for d in degrees)
+
+    def chain_quilts(self, node: str, max_window: int | None = None) -> list[MarkovQuilt]:
+        """The Lemma 4.6 asymmetric quilt set for path-graph networks.
+
+        For a chain ``X_1 - ... - X_T`` and node ``X_i`` this generates the
+        two-sided quilts ``{X_{i-a}, X_{i+b}}``, the one-sided quilts
+        ``{X_{i-a}}`` / ``{X_{i+b}}``, and the trivial quilt — the reduced
+        search set that Algorithm 3 uses.  With these quilt sets the general
+        mechanism (Algorithm 2) matches the chain-specialized MQMExact.
+
+        Raises :class:`ValidationError` when the skeleton is not a path.
+        """
+        if not self.is_path_graph():
+            raise ValidationError("chain_quilts requires a path-graph network")
+        # Order nodes along the path starting from an endpoint.
+        order = self._path_order()
+        position = order.index(node)
+        length = len(order)
+        window = max_window if max_window is not None else length
+        quilts = [self.trivial_quilt(node)]
+        for a in range(1, min(position, window) + 1):
+            left = position - a
+            quilts.append(self._interval_quilt(order, position, left, None))
+            for b in range(1, min(length - 1 - position, window) + 1):
+                if a + b - 1 > window:
+                    continue
+                quilts.append(self._interval_quilt(order, position, left, position + b))
+        for b in range(1, min(length - 1 - position, window) + 1):
+            quilts.append(self._interval_quilt(order, position, None, position + b))
+        return quilts
+
+    def _path_order(self) -> list[str]:
+        """Node names ordered along the path skeleton."""
+        if len(self._order) == 1:
+            return list(self._order)
+        endpoints = [n for n in self._order if len(self.undirected_neighbors(n)) == 1]
+        current = endpoints[0]
+        ordered = [current]
+        previous: str | None = None
+        while len(ordered) < len(self._order):
+            neighbors = [n for n in self.undirected_neighbors(current) if n != previous]
+            previous, current = current, neighbors[0]
+            ordered.append(current)
+        return ordered
+
+    def _interval_quilt(
+        self,
+        order: list[str],
+        position: int,
+        left: int | None,
+        right: int | None,
+    ) -> MarkovQuilt:
+        """Quilt with separator nodes at path positions ``left``/``right``."""
+        quilt_set = set()
+        nearby_lo = 0
+        nearby_hi = len(order) - 1
+        if left is not None:
+            quilt_set.add(order[left])
+            nearby_lo = left + 1
+        if right is not None:
+            quilt_set.add(order[right])
+            nearby_hi = right - 1
+        nearby = set(order[nearby_lo : nearby_hi + 1])
+        remote = set(order) - nearby - quilt_set
+        return MarkovQuilt(
+            node=order[position],
+            quilt=frozenset(quilt_set),
+            nearby=frozenset(nearby),
+            remote=frozenset(remote),
+        )
+
+    def _skeleton_distances(self, source: str) -> dict[str, float]:
+        distances = {n: float("inf") for n in self._order}
+        distances[source] = 0.0
+        frontier = [source]
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for nxt in self.undirected_neighbors(node):
+                    if distances[nxt] == float("inf"):
+                        distances[nxt] = distances[node] + 1
+                        next_frontier.append(nxt)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------
+    # Exact inference by enumeration
+    # ------------------------------------------------------------------
+    def joint_size(self) -> int:
+        """Number of assignments in the full joint."""
+        size = 1
+        for k in self._states.values():
+            size *= k
+        return size
+
+    def enumerate_joint(self) -> tuple[list[tuple[int, ...]], np.ndarray]:
+        """All assignments (tuples in node order) with their probabilities.
+
+        Raises :class:`EnumerationError` beyond :data:`MAX_JOINT_SIZE`.
+        """
+        size = self.joint_size()
+        if size > MAX_JOINT_SIZE:
+            raise EnumerationError(
+                f"joint has {size} assignments (> {MAX_JOINT_SIZE}); "
+                "use the chain-specialized algorithms instead"
+            )
+        ranges = [range(self._states[n]) for n in self._order]
+        assignments = list(itertools.product(*ranges))
+        probs = np.empty(len(assignments))
+        index = {n: i for i, n in enumerate(self._order)}
+        for row, assignment in enumerate(assignments):
+            prob = 1.0
+            for node in self._order:
+                parent_idx = tuple(assignment[index[p]] for p in self._parents[node])
+                prob *= self._cpds[node][parent_idx + (assignment[index[node]],)]
+                if prob == 0.0:
+                    break
+            probs[row] = prob
+        return assignments, probs
+
+    def conditional_table(
+        self,
+        targets: Sequence[str],
+        given: Mapping[str, int],
+    ) -> dict[tuple[int, ...], float]:
+        """``P(targets = . | given)`` as a mapping from target tuples.
+
+        Raises :class:`ValidationError` when the conditioning event has zero
+        probability.
+        """
+        assignments, probs = self.enumerate_joint()
+        index = {n: i for i, n in enumerate(self._order)}
+        target_idx = [index[t] for t in targets]
+        table: dict[tuple[int, ...], float] = {}
+        total = 0.0
+        for assignment, prob in zip(assignments, probs):
+            if any(assignment[index[g]] != v for g, v in given.items()):
+                continue
+            total += prob
+            key = tuple(assignment[i] for i in target_idx)
+            table[key] = table.get(key, 0.0) + prob
+        if total <= 0:
+            raise ValidationError(f"conditioning event {dict(given)!r} has zero probability")
+        return {key: value / total for key, value in table.items()}
+
+    def marginal_of(self, node: str) -> np.ndarray:
+        """Marginal distribution of a single node."""
+        assignments, probs = self.enumerate_joint()
+        index = {n: i for i, n in enumerate(self._order)}[node]
+        out = np.zeros(self._states[node])
+        for assignment, prob in zip(assignments, probs):
+            out[assignment[index]] += prob
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiscreteBayesianNetwork(nodes={len(self._order)})"

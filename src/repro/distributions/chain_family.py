@@ -1,0 +1,220 @@
+"""Distribution classes ``Theta`` over Markov chains.
+
+A Pufferfish instantiation fixes a class of plausible data distributions.
+For the Markov-chain setting of Section 4.4 each ``theta`` is a pair
+``(q, P)``.  This module provides:
+
+* :class:`FiniteChainFamily` — an explicit list of chains, e.g. the running
+  example ``Theta = {theta_1, theta_2}`` of Section 4.4 or the singleton
+  empirical chains used in the real-data experiments (Section 5.3).
+* :class:`IntervalChainFamily` — the synthetic-experiment family of
+  Section 5.2: binary chains with ``p0, p1 in [alpha, beta]`` and **all**
+  initial distributions.  Supplies closed-form ``pi_min`` and eigengap and a
+  transition-matrix grid for per-theta algorithms (MQMExact, GK16), matching
+  the gridding the paper itself uses for its runtime experiments.
+
+The ``free_initial`` flag tells MQMExact whether to use the Appendix C.4
+optimization (maximize the marginal term over all initial distributions in
+closed form) instead of the fixed-initial term of Eq. (5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import NotApplicableError, ValidationError
+from repro.utils.validation import check_positive, check_unit_interval
+
+
+class ChainFamily(ABC):
+    """Abstract distribution class over Markov chains of a fixed state space."""
+
+    @property
+    @abstractmethod
+    def n_states(self) -> int:
+        """State-space size shared by every chain in the family."""
+
+    @property
+    @abstractmethod
+    def free_initial(self) -> bool:
+        """True when the family contains *all* initial distributions for each
+        of its transition matrices (triggers the Appendix C.4 path)."""
+
+    @abstractmethod
+    def chains(self) -> Iterator[MarkovChain]:
+        """Iterate over representative chains (exact members for finite
+        families, a grid for continuum families)."""
+
+    @abstractmethod
+    def pi_min(self) -> float:
+        """``min_{theta, x} pi_theta(x)`` (Eq. 6)."""
+
+    @abstractmethod
+    def eigengap(self) -> float:
+        """``g_Theta`` of Eq. (7)/(14): the worst (smallest) eigengap."""
+
+    @property
+    def reversible(self) -> bool:
+        """True when every member chain is reversible (enables the tighter
+        Lemma C.1 bound).  Subclasses may override with a cheap answer."""
+        return all(chain.is_reversible() for chain in self.chains())
+
+    def require_mixing(self) -> None:
+        """Raise :class:`NotApplicableError` unless ``pi_min`` and the
+        eigengap are positive (the hypotheses of Lemma 4.8)."""
+        if self.pi_min() <= 0 or self.eigengap() <= 0:
+            raise NotApplicableError(
+                "MQMApprox requires every chain in Theta to be irreducible and "
+                f"aperiodic (pi_min={self.pi_min():.3g}, g={self.eigengap():.3g})"
+            )
+
+
+class FiniteChainFamily(ChainFamily):
+    """An explicit, finite set of chains ``{theta_1, ..., theta_m}``.
+
+    Parameters
+    ----------
+    members:
+        The chains.  All must share one state-space size.
+    free_initial:
+        Set when the listed transition matrices should be combined with every
+        possible initial distribution (``Theta = simplex x {P_1, ..., P_m}``).
+    """
+
+    def __init__(self, members: Sequence[MarkovChain], *, free_initial: bool = False) -> None:
+        members = list(members)
+        if not members:
+            raise ValidationError("a chain family needs at least one member")
+        sizes = {chain.n_states for chain in members}
+        if len(sizes) != 1:
+            raise ValidationError(f"all chains must share a state space, got sizes {sorted(sizes)}")
+        self._members = members
+        self._free_initial = bool(free_initial)
+
+    @classmethod
+    def singleton(cls, chain: MarkovChain) -> "FiniteChainFamily":
+        """The one-chain family used by the real-data experiments."""
+        return cls([chain])
+
+    @property
+    def n_states(self) -> int:
+        return self._members[0].n_states
+
+    @property
+    def free_initial(self) -> bool:
+        return self._free_initial
+
+    def chains(self) -> Iterator[MarkovChain]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def pi_min(self) -> float:
+        return min(chain.pi_min() for chain in self._members)
+
+    def eigengap(self) -> float:
+        return min(chain.eigengap() for chain in self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FiniteChainFamily(n={len(self._members)}, k={self.n_states})"
+
+
+class IntervalChainFamily(ChainFamily):
+    """Binary chains with ``p0, p1 in [alpha, beta]`` and all initials.
+
+    ``p0 = P(X_{t+1}=0 | X_t=0)`` and ``p1 = P(X_{t+1}=1 | X_t=1)`` — the
+    parameterization of Section 5.2.  The paper visualizes families as
+    ``Theta = [alpha, beta]`` with ``beta = 1 - alpha``; ``beta`` defaults
+    accordingly but may be set independently.
+
+    Closed forms used by MQMApprox (no gridding):
+
+    * stationary distribution of ``(p0, p1)`` is proportional to
+      ``(1-p1, 1-p0)``, so
+      ``pi_min = (1 - beta) / ((1 - alpha) + (1 - beta))``;
+    * the second eigenvalue of a binary chain is ``p0 + p1 - 1``, so the
+      reversible eigengap (Eq. 14) is
+      ``g = 2 * (1 - max(|2*beta - 1|, |2*alpha - 1|))``.
+
+    Per-theta algorithms receive a grid of ``(p0, p1)`` pairs with spacing
+    ``grid_step`` (both endpoints always included).
+    """
+
+    def __init__(self, alpha: float, beta: float | None = None, *, grid_step: float = 0.05) -> None:
+        self.alpha = check_unit_interval(alpha, "alpha", open_ends=True)
+        self.beta = (
+            1.0 - self.alpha if beta is None else check_unit_interval(beta, "beta", open_ends=True)
+        )
+        if self.beta < self.alpha:
+            raise ValidationError(f"beta ({self.beta}) must be >= alpha ({self.alpha})")
+        self.grid_step = check_positive(grid_step, "grid_step")
+
+    @property
+    def n_states(self) -> int:
+        return 2
+
+    @property
+    def free_initial(self) -> bool:
+        return True
+
+    @property
+    def reversible(self) -> bool:
+        # Every two-state chain satisfies detailed balance.
+        return True
+
+    def parameter_grid(self) -> np.ndarray:
+        """1-D grid over ``[alpha, beta]`` including both endpoints."""
+        if self.beta - self.alpha < 1e-12:
+            return np.array([self.alpha])
+        n_cells = max(1, int(np.ceil((self.beta - self.alpha) / self.grid_step)))
+        return np.linspace(self.alpha, self.beta, n_cells + 1)
+
+    @staticmethod
+    def transition_for(p0: float, p1: float) -> np.ndarray:
+        """Transition matrix of the binary chain with self-loop probs p0, p1."""
+        return np.array([[p0, 1.0 - p0], [1.0 - p1, p1]])
+
+    @staticmethod
+    def stationary_for(p0: float, p1: float) -> np.ndarray:
+        """Closed-form stationary distribution of the binary chain."""
+        weights = np.array([1.0 - p1, 1.0 - p0])
+        return weights / weights.sum()
+
+    def chains(self) -> Iterator[MarkovChain]:
+        """Grid chains, each started at its stationary distribution.
+
+        The stationary start is a placeholder: consumers honoring
+        ``free_initial`` re-optimize over all initial distributions.
+        """
+        grid = self.parameter_grid()
+        for p0 in grid:
+            for p1 in grid:
+                yield MarkovChain(
+                    self.stationary_for(float(p0), float(p1)),
+                    self.transition_for(float(p0), float(p1)),
+                )
+
+    def pi_min(self) -> float:
+        worst = (1.0 - self.beta) / ((1.0 - self.alpha) + (1.0 - self.beta))
+        return float(worst)
+
+    def eigengap(self) -> float:
+        second = max(abs(2.0 * self.beta - 1.0), abs(2.0 * self.alpha - 1.0))
+        return float(2.0 * (1.0 - second))
+
+    def sample_theta(self, rng: np.random.Generator) -> MarkovChain:
+        """Draw a chain per the paper's data-generation protocol: ``p0, p1``
+        uniform on ``[alpha, beta]`` and the initial distribution uniform on
+        the probability simplex."""
+        p0 = float(rng.uniform(self.alpha, self.beta))
+        p1 = float(rng.uniform(self.alpha, self.beta))
+        initial = rng.dirichlet(np.ones(2))
+        return MarkovChain(initial, self.transition_for(p0, p1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntervalChainFamily([{self.alpha:g}, {self.beta:g}], step={self.grid_step:g})"

@@ -1,0 +1,213 @@
+"""Finite discrete probability distributions on the real line.
+
+:class:`DiscreteDistribution` is the common currency of the library: the
+Wasserstein Mechanism compares conditional *query-output* distributions
+``P(F(X) | s_i, theta)``, the robustness theorem compares belief
+distributions, and tests build small distributions by hand.  Atoms are kept
+sorted so cumulative-distribution and quantile queries are O(log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import as_probability_vector
+
+#: Probabilities below this threshold are treated as structural zeros when
+#: computing supports and divergences (guards against float round-off).
+SUPPORT_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution:
+    """A probability distribution with finitely many atoms on the real line.
+
+    Attributes
+    ----------
+    atoms:
+        Strictly increasing array of support points (``float64``).
+    probs:
+        Probabilities matching ``atoms``; non-negative, summing to one.
+
+    Use :meth:`from_pairs`, :meth:`from_mapping` or :meth:`from_samples` to
+    construct instances from unsorted or duplicated data.
+    """
+
+    atoms: np.ndarray
+    probs: np.ndarray
+    _cdf: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        atoms = np.asarray(self.atoms, dtype=float)
+        probs = as_probability_vector(self.probs, "probs")
+        if atoms.ndim != 1:
+            raise ValidationError(f"atoms must be 1-dimensional, got shape {atoms.shape}")
+        if atoms.shape != probs.shape:
+            raise ValidationError(
+                f"atoms and probs must have matching shapes, got {atoms.shape} vs {probs.shape}"
+            )
+        if not np.all(np.isfinite(atoms)):
+            raise ValidationError("atoms contains non-finite values")
+        if atoms.size > 1 and np.any(np.diff(atoms) <= 0):
+            raise ValidationError(
+                "atoms must be strictly increasing; use from_pairs() to sort/merge"
+            )
+        cdf = np.cumsum(probs)
+        cdf[-1] = 1.0  # exact terminal value for clean quantile lookups
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "probs", probs)
+        object.__setattr__(self, "_cdf", cdf)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]]) -> "DiscreteDistribution":
+        """Build a distribution from ``(atom, probability)`` pairs.
+
+        Pairs may be unsorted and may repeat atoms (masses are merged).
+        Atoms with zero mass are dropped.
+        """
+        merged: dict[float, float] = {}
+        for atom, prob in pairs:
+            prob = float(prob)
+            if prob < 0:
+                raise ValidationError(f"negative probability {prob!r} for atom {atom!r}")
+            if prob > 0:
+                merged[float(atom)] = merged.get(float(atom), 0.0) + prob
+        if not merged:
+            raise ValidationError("distribution must have at least one atom with positive mass")
+        atoms = np.array(sorted(merged), dtype=float)
+        probs = np.array([merged[a] for a in atoms], dtype=float)
+        return cls(atoms, as_probability_vector(probs, "probs", normalize=True))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[float, float]) -> "DiscreteDistribution":
+        """Build a distribution from an ``{atom: probability}`` mapping."""
+        return cls.from_pairs(mapping.items())
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "DiscreteDistribution":
+        """Empirical distribution of a finite sample."""
+        values, counts = np.unique(np.asarray(list(samples), dtype=float), return_counts=True)
+        if values.size == 0:
+            raise ValidationError("cannot build a distribution from an empty sample")
+        return cls(values, counts / counts.sum())
+
+    @classmethod
+    def point_mass(cls, atom: float) -> "DiscreteDistribution":
+        """Distribution placing all mass on a single point."""
+        return cls(np.array([float(atom)]), np.array([1.0]))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_atoms(self) -> int:
+        """Number of support points (including any zero-mass atoms kept)."""
+        return int(self.atoms.size)
+
+    def support(self) -> np.ndarray:
+        """Atoms carrying probability mass above :data:`SUPPORT_ATOL`."""
+        return self.atoms[self.probs > SUPPORT_ATOL]
+
+    def mean(self) -> float:
+        """Expected value."""
+        return float(np.dot(self.atoms, self.probs))
+
+    def variance(self) -> float:
+        """Variance."""
+        mu = self.mean()
+        return float(np.dot((self.atoms - mu) ** 2, self.probs))
+
+    def cdf(self, x: float | np.ndarray) -> np.ndarray | float:
+        """Right-continuous CDF ``P(X <= x)`` evaluated at ``x``."""
+        idx = np.searchsorted(self.atoms, x, side="right")
+        padded = np.concatenate([[0.0], self._cdf])
+        result = padded[idx]
+        return float(result) if np.isscalar(x) else result
+
+    def quantile(self, u: float | np.ndarray) -> np.ndarray | float:
+        """Generalized inverse CDF: smallest atom ``x`` with ``CDF(x) >= u``."""
+        u_arr = np.atleast_1d(np.asarray(u, dtype=float))
+        if np.any((u_arr < 0) | (u_arr > 1)):
+            raise ValidationError("quantile levels must lie in [0, 1]")
+        idx = np.searchsorted(self._cdf, np.clip(u_arr, 0.0, 1.0), side="left")
+        idx = np.minimum(idx, self.n_atoms - 1)
+        result = self.atoms[idx]
+        return float(result[0]) if np.isscalar(u) else result
+
+    def probs_on(self, atoms: Iterable[float]) -> np.ndarray:
+        """Probability masses at the given atoms (0.0 where absent)."""
+        return np.array([self.probability_of(a) for a in atoms])
+
+    def probability_of(self, atom: float, *, atol: float = 1e-12) -> float:
+        """Probability mass at ``atom`` (0.0 if absent)."""
+        idx = np.searchsorted(self.atoms, atom)
+        if idx < self.n_atoms and abs(self.atoms[idx] - atom) <= atol:
+            return float(self.probs[idx])
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shift(self, offset: float) -> "DiscreteDistribution":
+        """Distribution of ``X + offset``."""
+        return DiscreteDistribution(self.atoms + float(offset), self.probs.copy())
+
+    def scale(self, factor: float) -> "DiscreteDistribution":
+        """Distribution of ``factor * X`` (``factor`` may be negative)."""
+        factor = float(factor)
+        if factor == 0:
+            return DiscreteDistribution.point_mass(0.0)
+        return DiscreteDistribution.from_pairs(zip(self.atoms * factor, self.probs))
+
+    def map(self, func) -> "DiscreteDistribution":
+        """Pushforward distribution of ``func(X)`` (atoms merged as needed)."""
+        return DiscreteDistribution.from_pairs(
+            (func(a), p) for a, p in zip(self.atoms, self.probs)
+        )
+
+    def mixture(self, other: "DiscreteDistribution", weight: float) -> "DiscreteDistribution":
+        """Mixture ``weight * self + (1 - weight) * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValidationError(f"mixture weight must lie in [0, 1], got {weight!r}")
+        pairs = list(zip(self.atoms, self.probs * weight))
+        pairs += list(zip(other.atoms, other.probs * (1.0 - weight)))
+        return DiscreteDistribution.from_pairs(pairs)
+
+    def restrict(self, predicate) -> "DiscreteDistribution":
+        """Conditional distribution given ``predicate(atom)`` is true."""
+        keep = np.array([bool(predicate(a)) for a in self.atoms])
+        mass = float(self.probs[keep].sum())
+        if mass <= SUPPORT_ATOL:
+            raise ValidationError("conditioning event has zero probability")
+        return DiscreteDistribution(self.atoms[keep], self.probs[keep] / mass)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` i.i.d. samples."""
+        return rng.choice(self.atoms, size=size, p=self.probs)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (used heavily in tests)
+    # ------------------------------------------------------------------
+    def allclose(self, other: "DiscreteDistribution", *, atol: float = 1e-9) -> bool:
+        """True when both distributions have identical atoms and close masses.
+
+        Zero-mass atoms are ignored on both sides.
+        """
+        a = DiscreteDistribution.from_pairs(zip(self.atoms, self.probs))
+        b = DiscreteDistribution.from_pairs(zip(other.atoms, other.probs))
+        if a.n_atoms != b.n_atoms:
+            return False
+        return bool(
+            np.allclose(a.atoms, b.atoms, atol=atol) and np.allclose(a.probs, b.probs, atol=atol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        entries = ", ".join(f"{a:g}: {p:.4g}" for a, p in zip(self.atoms, self.probs))
+        return f"DiscreteDistribution({{{entries}}})"

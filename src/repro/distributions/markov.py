@@ -1,0 +1,347 @@
+"""Discrete-time, finite-state, time-homogeneous Markov chains.
+
+This is the main correlation substrate of the paper: Example 1 (physical
+activity), the running example of Section 4.4, and both real-data experiments
+model the database as a Markov chain ``X_1 -> X_2 -> ... -> X_T`` described
+by an initial distribution ``q`` and a transition matrix ``P``.
+
+The class provides everything MQMExact/MQMApprox need:
+
+* cached matrix powers ``P^n`` and marginals ``P(X_t)`` (the paper's
+  dynamic-programming speedup of Section 4.4.1),
+* the stationary distribution ``pi`` and the time-reversal chain ``P*``
+  (Definition 4.7),
+* the eigengap ``g`` of Eq. (7)/(14) — the reversible form ``2*(1-|lambda_2|)``
+  of ``P`` and the general form ``1-|lambda_2|`` of ``P P*``,
+* irreducibility/aperiodicity checks (conditions of Lemma 4.8),
+* exact sampling of trajectories.
+
+Indices are **0-based**: ``marginal(t)`` is the law of ``X_t`` with
+``marginal(0) == q``.  The paper's 1-based node ``X_i`` is node ``i-1`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rngtools import resolve_rng
+from repro.utils.validation import as_probability_vector, as_transition_matrix
+
+#: Eigenvalues within this distance of 1 in modulus are treated as part of the
+#: unit peripheral spectrum when computing eigengaps.
+EIGEN_ATOL = 1e-10
+
+
+class MarkovChain:
+    """A time-homogeneous Markov chain ``theta = (q, P)`` on ``k`` states.
+
+    Parameters
+    ----------
+    initial:
+        Length-``k`` initial distribution ``q`` of ``X_0``.
+    transition:
+        ``k x k`` row-stochastic transition matrix ``P``.
+    state_labels:
+        Optional human-readable labels (used by the activity dataset).
+    """
+
+    def __init__(
+        self,
+        initial: Sequence[float] | np.ndarray,
+        transition: Sequence[Sequence[float]] | np.ndarray,
+        state_labels: Sequence[str] | None = None,
+    ) -> None:
+        self.transition = as_transition_matrix(transition)
+        self.initial = as_probability_vector(initial, "initial distribution")
+        if self.initial.size != self.transition.shape[0]:
+            raise ValidationError(
+                f"initial distribution has {self.initial.size} states but the "
+                f"transition matrix has {self.transition.shape[0]}"
+            )
+        if state_labels is not None and len(state_labels) != self.n_states:
+            raise ValidationError(
+                f"expected {self.n_states} state labels, got {len(state_labels)}"
+            )
+        self.state_labels = tuple(state_labels) if state_labels is not None else None
+        # Caches for incremental dynamic programming.
+        self._powers: list[np.ndarray] = [np.eye(self.n_states)]
+        self._marginals: list[np.ndarray] = [self.initial.copy()]
+        self._stationary: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states ``k``."""
+        return int(self.transition.shape[0])
+
+    def with_initial(self, initial: Sequence[float] | np.ndarray) -> "MarkovChain":
+        """A copy of this chain with a different initial distribution."""
+        return MarkovChain(initial, self.transition, self.state_labels)
+
+    def with_stationary_initial(self) -> "MarkovChain":
+        """A copy of this chain started from its stationary distribution."""
+        return self.with_initial(self.stationary())
+
+    # ------------------------------------------------------------------
+    # Powers and marginals (cached, computed incrementally)
+    # ------------------------------------------------------------------
+    def power(self, n: int) -> np.ndarray:
+        """``P^n`` with ``P^0 = I``; cached for all intermediate powers."""
+        if n < 0:
+            raise ValidationError(f"matrix power must be non-negative, got {n}")
+        while len(self._powers) <= n:
+            self._powers.append(self._powers[-1] @ self.transition)
+        return self._powers[n]
+
+    def marginal(self, t: int) -> np.ndarray:
+        """Law of ``X_t`` as a length-``k`` vector (``t`` is 0-based)."""
+        if t < 0:
+            raise ValidationError(f"time index must be non-negative, got {t}")
+        while len(self._marginals) <= t:
+            self._marginals.append(self._marginals[-1] @ self.transition)
+        return self._marginals[t]
+
+    def log_power(self, n: int) -> np.ndarray:
+        """Elementwise ``log P^n`` with ``-inf`` at structural zeros."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.power(n))
+
+    # ------------------------------------------------------------------
+    # Stationary behaviour
+    # ------------------------------------------------------------------
+    def stationary(self) -> np.ndarray:
+        """The stationary distribution ``pi`` solving ``pi P = pi``.
+
+        For irreducible chains this is unique.  For reducible chains the
+        least-squares solve returns one valid stationary vector; callers that
+        need uniqueness should check :meth:`is_irreducible` first.
+        """
+        if self._stationary is None:
+            k = self.n_states
+            a = np.vstack([self.transition.T - np.eye(k), np.ones((1, k))])
+            b = np.zeros(k + 1)
+            b[-1] = 1.0
+            pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+            pi = np.clip(pi, 0.0, None)
+            total = pi.sum()
+            if total <= 0:
+                raise ValidationError("failed to compute a stationary distribution")
+            self._stationary = pi / total
+        return self._stationary
+
+    def time_reversal(self) -> "MarkovChain":
+        """The time-reversal chain ``P*`` of Definition 4.7.
+
+        ``P*(x, y) pi(x) = P(y, x) pi(y)``.  States with zero stationary mass
+        get a uniform row (they are never visited at stationarity, so the
+        choice does not affect any computed quantity).
+        """
+        pi = self.stationary()
+        k = self.n_states
+        reversed_p = np.empty_like(self.transition)
+        for x in range(k):
+            if pi[x] <= 0:
+                reversed_p[x, :] = 1.0 / k
+            else:
+                reversed_p[x, :] = self.transition[:, x] * pi / pi[x]
+        # Normalize away round-off; rows of a true reversal sum to one.
+        reversed_p = reversed_p / reversed_p.sum(axis=1, keepdims=True)
+        return MarkovChain(pi, reversed_p, self.state_labels)
+
+    def multiplicative_reversiblization(self) -> np.ndarray:
+        """The matrix ``P P*`` whose eigengap drives Lemma 4.8 (Eq. 7)."""
+        return self.transition @ self.time_reversal().transition
+
+    def is_reversible(self, *, atol: float = 1e-9) -> bool:
+        """Check detailed balance ``pi(x) P(x,y) == pi(y) P(y,x)``."""
+        pi = self.stationary()
+        flow = pi[:, None] * self.transition
+        return bool(np.allclose(flow, flow.T, atol=atol))
+
+    def is_irreducible(self) -> bool:
+        """True when the transition digraph is strongly connected."""
+        return _is_strongly_connected(self.transition > 0)
+
+    def is_aperiodic(self) -> bool:
+        """True when no integer k > 1 divides the length of every cycle of
+        the transition digraph (networkx's aperiodicity criterion)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.n_states))
+        rows, cols = np.nonzero(self.transition > 0)
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        try:
+            return bool(nx.is_aperiodic(graph))
+        except nx.NetworkXError:
+            return False
+
+    def eigengap(self, *, reversible: bool | None = None) -> float:
+        """The eigengap ``g`` of Eq. (7) / Eq. (14).
+
+        For reversible chains (``reversible=True`` or auto-detected):
+        ``g = 2 * min{1 - |lambda| : P x = lambda x, |lambda| < 1}``.
+        Otherwise: ``g = min{1 - |lambda| : P P* x = lambda x, |lambda| < 1}``.
+
+        Returns 0.0 for chains whose peripheral spectrum has multiplicity
+        greater than one (reducible or periodic chains do not mix).
+        """
+        if reversible is None:
+            reversible = self.is_reversible()
+        if reversible:
+            lams = np.linalg.eigvals(self.transition)
+            return 2.0 * _spectral_gap(lams)
+        lams = np.linalg.eigvals(self.multiplicative_reversiblization())
+        return _spectral_gap(lams)
+
+    def pi_min(self) -> float:
+        """Smallest stationary probability, ``min_x pi(x)`` (Eq. 6)."""
+        return float(self.stationary().min())
+
+    def mixing_scale(self) -> float:
+        """Heuristic mixing-time scale ``log(1/pi_min)/g`` used in utility
+        statements; ``inf`` for non-mixing chains."""
+        gap = self.eigengap()
+        if gap <= 0:
+            return float("inf")
+        return float(np.log(1.0 / self.pi_min()) / gap)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, length: int, rng: "int | np.random.Generator | None" = None) -> np.ndarray:
+        """Sample a trajectory ``X_0, ..., X_{length-1}`` as ``int64``.
+
+        Vectorized via per-row cumulative transition CDFs: one uniform draw
+        per step with a binary search, which keeps million-step trajectories
+        (the electricity experiment) tractable.
+        """
+        if length < 0:
+            raise ValidationError(f"trajectory length must be non-negative, got {length}")
+        gen = resolve_rng(rng)
+        out = np.empty(length, dtype=np.int64)
+        if length == 0:
+            return out
+        cdf_rows = np.cumsum(self.transition, axis=1)
+        cdf_rows[:, -1] = 1.0
+        init_cdf = np.cumsum(self.initial)
+        init_cdf[-1] = 1.0
+        uniforms = gen.random(length)
+        out[0] = np.searchsorted(init_cdf, uniforms[0], side="right")
+        state = out[0]
+        for t in range(1, length):
+            state = np.searchsorted(cdf_rows[state], uniforms[t], side="right")
+            out[t] = state
+        return out
+
+    def sample_segments(
+        self,
+        lengths: Sequence[int],
+        rng: "int | np.random.Generator | None" = None,
+    ) -> list[np.ndarray]:
+        """Sample independent trajectories with the given lengths."""
+        gen = resolve_rng(rng)
+        return [self.sample(int(length), gen) for length in lengths]
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_segments(
+        cls,
+        segments: Sequence[np.ndarray],
+        n_states: int,
+        *,
+        smoothing: float = 0.0,
+        initial: str = "stationary",
+        state_labels: Sequence[str] | None = None,
+    ) -> "MarkovChain":
+        """Maximum-likelihood chain from independent trajectory segments.
+
+        Parameters
+        ----------
+        segments:
+            Iterable of integer state sequences; transitions are counted
+            within each segment only (segments are independent restarts).
+        n_states:
+            State-space size ``k``.
+        smoothing:
+            Additive (Laplace) smoothing added to each transition count.
+            The real-data experiments use a small positive value so that the
+            estimated chain is irreducible and MQMApprox's mixing bounds
+            apply.
+        initial:
+            ``"stationary"`` starts the estimated chain from its stationary
+            distribution (the paper's choice for the real datasets);
+            ``"empirical"`` uses the empirical distribution of segment heads;
+            ``"uniform"`` uses the uniform distribution.
+        """
+        if smoothing < 0:
+            raise ValidationError(f"smoothing must be non-negative, got {smoothing}")
+        counts = np.full((n_states, n_states), float(smoothing))
+        heads = np.zeros(n_states)
+        for segment in segments:
+            seq = np.asarray(segment, dtype=np.int64)
+            if seq.size == 0:
+                continue
+            heads[seq[0]] += 1.0
+            if seq.size > 1:
+                np.add.at(counts, (seq[:-1], seq[1:]), 1.0)
+        row_sums = counts.sum(axis=1)
+        transition = np.where(
+            row_sums[:, None] > 0, counts / np.maximum(row_sums, 1e-300)[:, None], 1.0 / n_states
+        )
+        chain = cls(np.full(n_states, 1.0 / n_states), transition, state_labels)
+        if initial == "stationary":
+            return chain.with_stationary_initial()
+        if initial == "empirical":
+            if heads.sum() <= 0:
+                raise ValidationError("cannot use empirical initial: no non-empty segments")
+            return chain.with_initial(heads / heads.sum())
+        if initial == "uniform":
+            return chain
+        raise ValidationError(
+            f"initial must be 'stationary', 'empirical' or 'uniform', got {initial!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MarkovChain(k={self.n_states})"
+
+
+def _spectral_gap(eigenvalues: np.ndarray) -> float:
+    """``min(1 - |lambda|)`` over non-peripheral eigenvalues.
+
+    Exactly one eigenvalue of modulus one is expected (Perron root); if more
+    remain after removing it, the chain does not mix and the gap is 0.
+    """
+    mods = np.sort(np.abs(eigenvalues))[::-1]
+    rest = mods[1:]
+    if rest.size == 0:
+        return 1.0
+    if rest[0] >= 1.0 - EIGEN_ATOL:
+        return 0.0
+    return float(1.0 - rest[0])
+
+
+def _is_strongly_connected(adjacency: np.ndarray) -> bool:
+    """Strong connectivity via two reachability passes (forward/backward)."""
+
+    def reaches_all(adj: np.ndarray) -> bool:
+        n = adj.shape[0]
+        visited = np.zeros(n, dtype=bool)
+        stack = [0]
+        visited[0] = True
+        while stack:
+            node = stack.pop()
+            for nxt in np.flatnonzero(adj[node]):
+                if not visited[nxt]:
+                    visited[nxt] = True
+                    stack.append(int(nxt))
+        return bool(visited.all())
+
+    return reaches_all(adjacency) and reaches_all(adjacency.T)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Pufferfish reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything from this package with a single ``except`` clause while
+still being able to distinguish validation problems from mechanism-level
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when an input fails validation (shapes, ranges, stochasticity).
+
+    Subclasses :class:`ValueError` so that generic callers treating bad
+    arguments as value errors keep working.
+    """
+
+
+class PrivacyParameterError(ReproError, ValueError):
+    """Raised when a privacy parameter (epsilon, delta) is invalid.
+
+    Examples include ``epsilon <= 0`` or a composition budget that has been
+    exhausted.
+    """
+
+
+class NotApplicableError(ReproError, RuntimeError):
+    """Raised when a mechanism does not apply to the given instantiation.
+
+    The canonical case is GK16 when the spectral norm of the influence matrix
+    is >= 1 (reported as "N/A" in the paper's tables), or MQMApprox when the
+    distribution class contains a non-mixing (reducible or periodic) chain.
+    """
+
+
+class EnumerationError(ReproError, RuntimeError):
+    """Raised when an exact computation would require enumerating a state
+    space that exceeds the configured safety limit.
+
+    The Wasserstein Mechanism and the general Markov Quilt Mechanism both
+    enumerate joint distributions; this error protects against accidentally
+    requesting an exponential computation on a large model.
+    """

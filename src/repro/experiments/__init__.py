@@ -1,0 +1,14 @@
+"""Experiment harnesses, one module per paper artifact:
+
+* :mod:`repro.experiments.fig4_synthetic` — Figure 4 upper row (E1)
+* :mod:`repro.experiments.fig4_activity` — Figure 4 lower row (E2)
+* :mod:`repro.experiments.table1_activity` — Table 1 (E3)
+* :mod:`repro.experiments.table2_runtime` — Table 2 (E4)
+* :mod:`repro.experiments.table3_power` — Table 3 (E5)
+* :mod:`repro.experiments.section3_flu` — the Section 3.1 worked example (E6)
+* :mod:`repro.experiments.section44_running_example` — Section 4.4 (E7/E8)
+
+Every module exposes ``run(...)`` returning report objects and a ``main()``
+that prints them next to the paper's reported values; all are runnable via
+``python -m repro.experiments.<name>``.
+"""

@@ -1,0 +1,68 @@
+"""Shared experiment configuration.
+
+``FULL`` mirrors the paper's parameters; ``FAST`` is a reduced profile used
+by the benchmark suite so that every table and figure can be regenerated in
+minutes on a laptop.  Errors scale predictably with the reduced parameters
+(noise scales are data-size dependent only through segment lengths), so the
+FAST profile preserves every qualitative conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Figure 4 upper row parameters."""
+
+    length: int = 100
+    alphas: tuple[float, ...] = (0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4)
+    epsilons: tuple[float, ...] = (0.2, 1.0, 5.0)
+    n_trials: int = 500
+    grid_step: float = 0.05
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ActivityConfig:
+    """Figure 4 lower row / Tables 1-2 parameters."""
+
+    epsilon: float = 1.0
+    n_trials: int = 20
+    scale: float = 1.0  # cohort size multiplier (FAST uses < 1)
+    smoothing: float = 0.5
+    seed: int = 11
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Table 3 parameters."""
+
+    length: int = 1_000_000
+    epsilons: tuple[float, ...] = (0.2, 1.0, 5.0)
+    n_trials: int = 20
+    smoothing: float = 0.05
+    seed: int = 13
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A bundle of configurations."""
+
+    name: str
+    synthetic: SyntheticConfig = field(default_factory=SyntheticConfig)
+    activity: ActivityConfig = field(default_factory=ActivityConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+
+
+FULL = Profile(name="full")
+
+FAST = Profile(
+    name="fast",
+    synthetic=SyntheticConfig(
+        alphas=(0.1, 0.2, 0.3, 0.4), n_trials=200, grid_step=0.1
+    ),
+    activity=ActivityConfig(n_trials=10, scale=0.25),
+    power=PowerConfig(length=120_000, n_trials=10),
+)

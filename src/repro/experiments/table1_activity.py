@@ -1,0 +1,136 @@
+"""E3 — Table 1: L1 errors on the activity cohorts, aggregate and individual
+tasks, eps = 1.
+
+* **Aggregate**: publish the pooled relative-frequency histogram of each
+  cohort.  Mechanisms: DP (individual-level), GroupDP, GK16 (N/A for these
+  sticky chains), MQMApprox, MQMExact.
+* **Individual**: publish every participant's own histogram; the reported
+  error is the mean L1 error over participants.  The DP baseline is not
+  defined for this task (a participant *is* the database), matching the
+  paper's N/A entries.
+
+The orderings the paper reports and this experiment reproduces:
+``MQMExact < MQMApprox << GroupDP`` on both tasks, ``MQM << DP`` on the
+aggregate task, and GK16 inapplicable everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.analysis.runner import run_release_trials
+from repro.baselines.dp import IndividualDPMechanism
+from repro.baselines.gk16 import GK16Mechanism
+from repro.baselines.group_dp import GroupDPMechanism
+from repro.core.queries import RelativeFrequencyHistogram
+from repro.data.activity import generate_study
+from repro.data.datasets import StudyGroup
+from repro.experiments.config import FULL, ActivityConfig
+from repro.experiments.fig4_activity import build_mechanisms
+from repro.paperdata import TABLE1
+from repro.utils.rngtools import resolve_rng
+
+
+def cohort_errors(
+    group: StudyGroup, config: ActivityConfig, rng
+) -> dict[str, tuple[float | None, float | None]]:
+    """(aggregate, individual) mean L1 error per mechanism for one cohort."""
+    pooled = group.pooled_dataset()
+    agg_query = RelativeFrequencyHistogram(group.n_states, pooled.n_observations)
+    chain, family, approx, exact = build_mechanisms(group, config)
+    group_dp = GroupDPMechanism(config.epsilon)
+    dp = IndividualDPMechanism(config.epsilon, group.participant_sizes())
+    gk16_applicable = GK16Mechanism(family, config.epsilon).is_applicable(
+        pooled.longest_segment
+    )
+
+    def aggregate_error(mechanism) -> float:
+        return run_release_trials(mechanism, pooled, agg_query, config.n_trials, rng).mean_l1
+
+    def individual_error(mechanism) -> float:
+        errors = []
+        for participant in group.participants:
+            data = participant.dataset
+            query = RelativeFrequencyHistogram(group.n_states, data.n_observations)
+            result = run_release_trials(mechanism, data, query, config.n_trials, rng)
+            errors.append(result.mean_l1)
+        return float(np.mean(errors))
+
+    results: dict[str, tuple[float | None, float | None]] = {
+        "DP": (aggregate_error(dp), None),
+        "GroupDP": (aggregate_error(group_dp), individual_error(group_dp)),
+        "GK16": (None, None) if not gk16_applicable else (0.0, 0.0),
+        "MQMApprox": (aggregate_error(approx), individual_error(approx)),
+        "MQMExact": (aggregate_error(exact), individual_error(exact)),
+    }
+    return results
+
+
+def run(config: ActivityConfig = FULL.activity) -> Table:
+    """The full Table 1 (aggregate and individual columns per cohort)."""
+    rng = resolve_rng(config.seed)
+    groups = generate_study(rng, scale=config.scale)
+    per_cohort = {g.name: cohort_errors(g, config, rng) for g in groups}
+    columns = ["mechanism"]
+    for group in groups:
+        columns += [f"{group.name}-agg", f"{group.name}-ind"]
+    table = Table(
+        f"Table 1 — activity L1 errors, eps={config.epsilon:g}, "
+        f"{config.n_trials} trials (paper values in repro.paperdata.TABLE1)",
+        columns,
+    )
+    for mechanism in ("DP", "GroupDP", "GK16", "MQMApprox", "MQMExact"):
+        row: list[float | None] = []
+        for group in groups:
+            agg, ind = per_cohort[group.name][mechanism]
+            row += [agg, ind]
+        table.add_row(mechanism, row)
+    return table
+
+
+def check_orderings(table: Table) -> list[str]:
+    """Assert the paper's qualitative orderings; returns violation messages
+    (empty = all hold).  Used by tests and the benchmark harness."""
+    violations = []
+    rows = table.to_dict()
+    n_groups = (len(table.columns) - 1) // 2
+    for g in range(n_groups):
+        agg_idx, ind_idx = 2 * g, 2 * g + 1
+        name = table.columns[1 + agg_idx].rsplit("-", 1)[0]
+        exact_agg = rows["MQMExact"][agg_idx]
+        approx_agg = rows["MQMApprox"][agg_idx]
+        if not exact_agg <= approx_agg:
+            violations.append(f"{name}: MQMExact agg > MQMApprox agg")
+        if not approx_agg < rows["GroupDP"][agg_idx]:
+            violations.append(f"{name}: MQMApprox agg >= GroupDP agg")
+        if not approx_agg < rows["DP"][agg_idx]:
+            violations.append(f"{name}: MQMApprox agg >= DP agg")
+        if not rows["MQMExact"][ind_idx] <= rows["MQMApprox"][ind_idx]:
+            violations.append(f"{name}: MQMExact ind > MQMApprox ind")
+        if not rows["MQMApprox"][ind_idx] < rows["GroupDP"][ind_idx]:
+            violations.append(f"{name}: MQMApprox ind >= GroupDP ind")
+        if rows["GK16"][agg_idx] is not None:
+            violations.append(f"{name}: GK16 unexpectedly applicable")
+    return violations
+
+
+def main(config: ActivityConfig = FULL.activity) -> None:
+    """Print Table 1 with the paper's values for comparison."""
+    table = run(config)
+    print(table.render())
+    print()
+    paper = Table("Table 1 — paper-reported values", ["mechanism", *TABLE1["columns"]])
+    for mechanism in ("DP", "GroupDP", "GK16", "MQMApprox", "MQMExact"):
+        paper.add_row(mechanism, TABLE1[mechanism])
+    print(paper.render())
+    violations = check_orderings(table)
+    print()
+    if violations:
+        print("ORDERING VIOLATIONS:", "; ".join(violations))
+    else:
+        print("All paper orderings hold (MQMExact <= MQMApprox << GroupDP, MQM << DP, GK16 N/A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""E4 — Table 2: running time of the noise-scale computation.
+
+The paper times "an optimized algorithm that calculates the scale parameter
+of the Laplace noise" for GK16, MQMApprox and MQMExact on: the synthetic
+setting (averaged over transition matrices on a grid, matching the paper's
+``p0, p1 in {0.1, 0.11, ..., 0.9}``), the three activity cohorts, and the
+power dataset.
+
+Absolute seconds differ from the paper's 2017 desktop (and our tables are
+vectorized differently), but the two orderings the paper highlights hold:
+MQMApprox is orders of magnitude faster than MQMExact, and MQMExact's cost
+grows with the state space (power's 51 states dominate).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.baselines.gk16 import GK16Mechanism
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import RelativeFrequencyHistogram, StateFrequencyQuery
+from repro.data.activity import generate_study
+from repro.data.estimation import empirical_chain
+from repro.data.power import generate_power_dataset
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import NotApplicableError
+from repro.experiments.config import FULL, ActivityConfig, PowerConfig
+from repro.paperdata import TABLE2
+from repro.utils.rngtools import resolve_rng
+
+
+def time_call(func) -> float:
+    """Wall-clock seconds of one invocation."""
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def synthetic_timings(
+    epsilon: float = 1.0, length: int = 100, grid_points: int = 9
+) -> dict[str, float | None]:
+    """Average per-theta scale-computation time over a (p0, p1) grid."""
+    grid = np.linspace(0.1, 0.9, grid_points)
+    query = StateFrequencyQuery(1, length)
+    data = np.zeros(length, dtype=np.int64)
+    times: dict[str, list[float]] = {"GK16": [], "MQMApprox": [], "MQMExact": []}
+    for p0 in grid:
+        for p1 in grid:
+            chain = FiniteChainFamily.singleton(
+                MarkovChain(
+                    IntervalChainFamily.stationary_for(float(p0), float(p1)),
+                    IntervalChainFamily.transition_for(float(p0), float(p1)),
+                )
+            )
+            gk16 = GK16Mechanism(chain, epsilon, length=length)
+            try:
+                times["GK16"].append(time_call(lambda: gk16.noise_scale(query, data)))
+            except NotApplicableError:
+                pass
+            try:
+                approx = MQMApprox(chain, epsilon)
+                times["MQMApprox"].append(
+                    time_call(lambda: approx.noise_scale(query, data))
+                )
+            except NotApplicableError:
+                pass
+            exact = MQMExact(chain, epsilon, max_window=length)
+            times["MQMExact"].append(time_call(lambda: exact.noise_scale(query, data)))
+    return {
+        name: (float(np.mean(values)) if values else None)
+        for name, values in times.items()
+    }
+
+
+def dataset_timings(family, dataset, epsilon: float = 1.0) -> dict[str, float | None]:
+    """Scale-computation time for one estimated-chain dataset."""
+    query = RelativeFrequencyHistogram(dataset.n_states, dataset.n_observations)
+    out: dict[str, float | None] = {}
+    gk16 = GK16Mechanism(family, epsilon)
+    try:
+        out["GK16"] = time_call(lambda: gk16.noise_scale(query, dataset))
+    except NotApplicableError:
+        out["GK16"] = None
+    approx = MQMApprox(family, epsilon)
+    out["MQMApprox"] = time_call(lambda: approx.noise_scale(query, dataset))
+    window = approx.optimal_quilt_extent(dataset.longest_segment) or 64
+    exact = MQMExact(family, epsilon, max_window=window)
+    out["MQMExact"] = time_call(lambda: exact.noise_scale(query, dataset))
+    return out
+
+
+def run(
+    activity: ActivityConfig = FULL.activity,
+    power: PowerConfig = FULL.power,
+    *,
+    include_power: bool = True,
+) -> Table:
+    """Regenerate Table 2 (seconds per scale computation)."""
+    rng = resolve_rng(activity.seed)
+    columns = ["synthetic"]
+    results: dict[str, dict[str, float | None]] = {"synthetic": synthetic_timings()}
+    for group in generate_study(rng, scale=activity.scale):
+        chain = empirical_chain(group, smoothing=activity.smoothing)
+        family = FiniteChainFamily.singleton(chain)
+        results[group.name] = dataset_timings(family, group.pooled_dataset())
+        columns.append(group.name)
+    if include_power:
+        dataset, _ = generate_power_dataset(power.length, resolve_rng(power.seed))
+        chain = empirical_chain(dataset, smoothing=power.smoothing)
+        results["power"] = dataset_timings(FiniteChainFamily.singleton(chain), dataset)
+        columns.append("power")
+    table = Table(
+        "Table 2 — seconds to compute the Laplace scale (eps=1); "
+        "paper values in repro.paperdata.TABLE2",
+        ["mechanism", *columns],
+    )
+    for mechanism in ("GK16", "MQMApprox", "MQMExact"):
+        table.add_row(mechanism, [results[c].get(mechanism) for c in columns])
+    return table
+
+
+def main(
+    activity: ActivityConfig = FULL.activity, power: PowerConfig = FULL.power
+) -> None:
+    """Print measured timings next to the paper's."""
+    table = run(activity, power)
+    print(table.render())
+    print()
+    paper = Table("Table 2 — paper-reported seconds", ["mechanism", *TABLE2["columns"]])
+    for mechanism in ("GK16", "MQMApprox", "MQMExact"):
+        paper.add_row(mechanism, TABLE2[mechanism])
+    print(paper.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Every number the paper reports, collected for side-by-side comparison.
+
+The experiment harnesses print "paper vs measured" rows using these
+constants; EXPERIMENTS.md is assembled from that output.  Absolute agreement
+is not expected (our substrates are simulators — see DESIGN.md Section 4);
+the *shape* (orderings, rough factors, crossovers, N/A regions) is what the
+reproduction validates.
+"""
+
+from __future__ import annotations
+
+#: Section 3.1 flu example: Wasserstein bound vs group-DP sensitivity.
+FLU_EXAMPLE = {
+    "count_distribution": [0.1, 0.15, 0.5, 0.15, 0.1],
+    "conditional_given_0": [0.2, 0.225, 0.5, 0.075, 0.0],
+    "conditional_given_1": [0.0, 0.075, 0.5, 0.225, 0.2],
+    "wasserstein_bound": 2.0,
+    "group_dp_sensitivity": 4.0,
+}
+
+#: Section 4.3 composition example (T=3 chain, epsilon=10).
+COMPOSITION_EXAMPLE = {
+    "initial": [0.8, 0.2],
+    "transition": [[0.9, 0.1], [0.4, 0.6]],
+    "epsilon": 10.0,
+    # quilt -> (max-influence, card(X_N), score); log values exact.
+    "scores": {
+        "trivial": 0.3,
+        "left": 0.2437,
+        "right": 0.2437,
+        "both": 0.1558,
+    },
+    "influences": {"trivial": 0.0, "left": 1.791759, "right": 1.791759, "both": 3.583519},
+    "active_quilt": "both",
+}
+
+#: Section 4.4 running example (T=100, Theta={theta1, theta2}, epsilon=1).
+RUNNING_EXAMPLE = {
+    "theta1": {"initial": [1.0, 0.0], "transition": [[0.9, 0.1], [0.4, 0.6]]},
+    "theta2": {"initial": [0.9, 0.1], "transition": [[0.8, 0.2], [0.3, 0.7]]},
+    "epsilon": 1.0,
+    "sigma_theta1": 13.0219,       # achieved at X8 by quilt {X3, X13}
+    "sigma_theta2": 10.6402,       # achieved at X6 by quilt {X10}
+    "pi_min": 0.2,
+    "eigengap_general": 0.75,      # eigengap of P P* for both thetas
+    "stationary_theta1": [0.8, 0.2],
+    "stationary_theta2": [0.6, 0.4],
+}
+
+#: Theorem 2.4 worked example: conditioning can increase max-divergence.
+ROBUSTNESS_EXAMPLE = {
+    "theta": [0.9, 0.05, 0.05],
+    "theta_tilde": [0.01, 0.95, 0.04],
+    "unconditional": 90.0,     # max-divergence = log(90)
+    "conditional": 91.0962,    # after removing D3: log(91.0962)
+}
+
+#: Figure 4 upper row: GroupDP errors quoted in the caption per epsilon.
+FIG4_SYNTHETIC_GROUPDP = {0.2: 5.0, 1.0: 1.0, 5.0: 0.2}
+
+#: Figure 4 upper row sweep (alpha grid; the dashed GK16 line sits where the
+#: influence spectral norm reaches 1, independent of epsilon).
+FIG4_SYNTHETIC = {
+    "T": 100,
+    "alphas": [0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4],
+    "epsilons": [0.2, 1.0, 5.0],
+    "n_trials": 500,
+}
+
+#: Table 1 — activity L1 errors (epsilon = 1, 20 trials).
+TABLE1 = {
+    "columns": ["cyclist_agg", "cyclist_ind", "older_agg", "older_ind", "over_agg", "over_ind"],
+    "DP": [0.2918, None, 0.8746, None, 0.4763, None],
+    "GroupDP": [0.0834, 2.3157, 0.1138, 1.7860, 0.0458, 1.1492],
+    "GK16": [None, None, None, None, None, None],
+    "MQMApprox": [0.0107, 0.6319, 0.0156, 0.2790, 0.0048, 0.1967],
+    "MQMExact": [0.0074, 0.4077, 0.0098, 0.1742, 0.0033, 0.1316],
+}
+
+#: Table 2 — seconds to compute the Laplace scale parameter (epsilon = 1).
+TABLE2 = {
+    "columns": ["synthetic", "cyclist", "older_woman", "overweight_woman", "power"],
+    "GK16": [6.3589e-4, None, None, None, None],
+    "MQMApprox": [1.8458e-4, 0.0064, 0.0060, 0.0028, 0.0567],
+    "MQMExact": [7.6794e-4, 1.5186, 1.2786, 0.6299, 282.2273],
+}
+
+#: Table 3 — electricity L1 errors (20 trials).
+TABLE3 = {
+    "epsilons": [0.2, 1.0, 5.0],
+    "GroupDP": [516.1555, 102.8868, 19.8712],
+    "GK16": [None, None, None],
+    "MQMApprox": [0.3369, 0.0614, 0.0113],
+    "MQMExact": [0.1298, 0.0188, 0.0022],
+    "n_states": 51,
+    "length": 1_000_000,
+}
+
+#: Activity dataset shape parameters quoted in Section 5.3.1.
+ACTIVITY_DATASET = {
+    "groups": {"cyclist": 40, "older_woman": 16, "overweight_woman": 36},
+    "n_activities": 4,
+    "sampling_seconds": 12,
+    "mean_observations": 9000,
+    "gap_minutes": 10,
+}

@@ -1,0 +1,21 @@
+"""Shared utilities: input validation and random-generator handling."""
+
+from repro.utils.rngtools import resolve_rng
+from repro.utils.validation import (
+    as_probability_vector,
+    as_state_sequence,
+    as_transition_matrix,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+__all__ = [
+    "as_probability_vector",
+    "as_state_sequence",
+    "as_transition_matrix",
+    "check_positive",
+    "check_probability",
+    "check_unit_interval",
+    "resolve_rng",
+]

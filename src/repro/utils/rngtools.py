@@ -1,0 +1,32 @@
+"""Random-generator plumbing.
+
+Every stochastic routine in this library accepts an optional ``rng`` argument
+that may be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`.  :func:`resolve_rng` canonicalizes all three
+forms so call sites stay one-line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+RngLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` creates a freshly-seeded generator; an ``int`` seeds a new
+    generator deterministically; an existing generator is returned as-is.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise ValidationError(
+        f"rng must be None, an int seed, or a numpy Generator, got {type(rng).__name__}"
+    )

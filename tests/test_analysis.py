@@ -1,0 +1,106 @@
+"""Unit tests for analysis metrics, the trial runner, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import expected_l1_laplace, l1_error
+from repro.analysis.reporting import Table, format_series
+from repro.analysis.runner import run_release_trials, run_sampled_trials
+from repro.baselines.group_dp import GroupDPMechanism
+from repro.core.queries import StateFrequencyQuery
+from repro.data.datasets import TimeSeriesDataset
+from repro.exceptions import ValidationError
+
+
+class TestMetrics:
+    def test_l1_scalar(self):
+        assert l1_error(1.5, 1.0) == pytest.approx(0.5)
+
+    def test_l1_vector(self):
+        assert l1_error(np.array([1.0, 0.0]), np.array([0.0, 2.0])) == pytest.approx(3.0)
+
+    def test_l1_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            l1_error(np.zeros(2), np.zeros(3))
+
+    def test_expected_l1(self):
+        assert expected_l1_laplace(0.5, 4) == pytest.approx(2.0)
+
+    def test_expected_l1_validation(self):
+        with pytest.raises(ValidationError):
+            expected_l1_laplace(-1.0)
+        with pytest.raises(ValidationError):
+            expected_l1_laplace(1.0, 0)
+
+
+class TestRunner:
+    def test_mean_error_matches_expectation(self):
+        data = TimeSeriesDataset.from_sequence(np.zeros(100, dtype=int), 2)
+        mech = GroupDPMechanism(1.0)
+        query = StateFrequencyQuery(0, 100)
+        result = run_release_trials(mech, data, query, n_trials=30_000, rng=0)
+        # GroupDP scale = 1.0 here; E|Lap(1)| = 1.
+        assert result.mean_l1 == pytest.approx(1.0, rel=0.05)
+        assert result.noise_scale == pytest.approx(1.0)
+        assert result.n_trials == 30_000
+
+    def test_rejects_zero_trials(self):
+        data = TimeSeriesDataset.from_sequence(np.zeros(10, dtype=int), 2)
+        with pytest.raises(ValidationError):
+            run_release_trials(GroupDPMechanism(1.0), data, StateFrequencyQuery(0, 10), 0)
+
+    def test_sampled_trials(self):
+        from repro.data.synthetic import sample_binary_dataset
+        from repro.distributions.chain_family import IntervalChainFamily
+
+        family = IntervalChainFamily(0.3)
+        result = run_sampled_trials(
+            make_data=lambda gen: sample_binary_dataset(family, 50, gen),
+            make_mechanism=lambda: GroupDPMechanism(1.0),
+            make_query=lambda data: StateFrequencyQuery(1, data.n_observations),
+            n_trials=50,
+            rng=0,
+        )
+        assert result.n_trials == 50
+        assert result.mean_l1 > 0
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        table = Table("Demo", ["mech", "a", "b"])
+        table.add_row("MQM", [0.5, None])
+        rendered = table.render()
+        assert "Demo" in rendered
+        assert "N/A" in rendered
+        assert "0.5" in rendered
+
+    def test_table_row_length_checked(self):
+        table = Table("Demo", ["mech", "a"])
+        with pytest.raises(ValidationError):
+            table.add_row("MQM", [1, 2])
+
+    def test_table_to_dict(self):
+        table = Table("Demo", ["mech", "x"])
+        table.add_row("GroupDP", [2.0])
+        assert table.to_dict() == {"GroupDP": [2.0]}
+
+    def test_format_series(self):
+        text = format_series(
+            "Fig", "alpha", [0.1, 0.2], {"MQM": [1.0, 0.5], "GK16": [None, 0.1]}
+        )
+        assert "alpha" in text
+        assert "N/A" in text
+
+    def test_format_series_length_checked(self):
+        with pytest.raises(ValidationError):
+            format_series("Fig", "x", [1], {"m": [1, 2]})
+
+    def test_infinity_rendering(self):
+        table = Table("Demo", ["mech", "x"])
+        table.add_row("m", [float("inf")])
+        assert "inf" in table.render()
+
+    def test_scientific_rendering(self):
+        table = Table("Demo", ["mech", "x"])
+        table.add_row("m", [1.23e-7])
+        assert "e-07" in table.render()

@@ -1,0 +1,142 @@
+"""Unit tests for the DP, GroupDP and GK16 baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dp import EntryDPMechanism, IndividualDPMechanism
+from repro.baselines.gk16 import GK16Mechanism, chain_influence_matrix
+from repro.baselines.group_dp import GroupDPMechanism
+from repro.core.queries import RelativeFrequencyHistogram, StateFrequencyQuery
+from repro.data.datasets import TimeSeriesDataset
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import NotApplicableError, ValidationError
+
+
+class TestEntryDP:
+    def test_scale_is_lipschitz_over_epsilon(self):
+        mech = EntryDPMechanism(2.0)
+        query = StateFrequencyQuery(1, 100)
+        assert mech.noise_scale(query, np.zeros(100, dtype=int)) == pytest.approx(
+            0.01 / 2.0
+        )
+
+
+class TestIndividualDP:
+    def test_sensitivity_equal_sizes(self):
+        """m participants of equal size: sensitivity 2/m."""
+        mech = IndividualDPMechanism(1.0, [100] * 40)
+        assert mech.sensitivity() == pytest.approx(2.0 / 40)
+
+    def test_sensitivity_dominated_by_largest(self):
+        mech = IndividualDPMechanism(1.0, [10, 10, 80])
+        assert mech.sensitivity() == pytest.approx(2 * 80 / 100)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            IndividualDPMechanism(1.0, [])
+
+    def test_expected_error_shrinks_with_group_size(self):
+        """Table 1's DP row: smaller cohorts have larger error."""
+        small = IndividualDPMechanism(1.0, [100] * 16).sensitivity()
+        large = IndividualDPMechanism(1.0, [100] * 40).sensitivity()
+        assert small > large
+
+
+class TestGroupDP:
+    def test_single_chain_group_is_whole_series(self):
+        mech = GroupDPMechanism(1.0)
+        data = TimeSeriesDataset.from_sequence(np.zeros(100, dtype=int), 2)
+        query = StateFrequencyQuery(0, 100)
+        # L * M / eps = (1/100) * 100 / 1 = 1: the "error about 1" the paper
+        # quotes for eps=1 on the synthetic chain.
+        assert mech.noise_scale(query, data) == pytest.approx(1.0)
+
+    def test_segments_bound_group_size(self):
+        mech = GroupDPMechanism(1.0)
+        data = TimeSeriesDataset([np.zeros(60, dtype=int), np.zeros(40, dtype=int)], 2)
+        query = RelativeFrequencyHistogram(2, 100)
+        assert mech.noise_scale(query, data) == pytest.approx((2 / 100) * 60)
+
+    def test_raw_arrays_supported(self):
+        mech = GroupDPMechanism(2.0)
+        query = StateFrequencyQuery(0, 10)
+        assert mech.noise_scale(query, np.zeros(10, dtype=int)) == pytest.approx(0.5)
+
+    def test_epsilon_scaling(self):
+        data = TimeSeriesDataset.from_sequence(np.zeros(50, dtype=int), 2)
+        query = StateFrequencyQuery(0, 50)
+        assert GroupDPMechanism(0.2).noise_scale(query, data) == pytest.approx(
+            5 * GroupDPMechanism(1.0).noise_scale(query, data)
+        )
+
+
+class TestGK16InfluenceMatrix:
+    def test_tridiagonal_structure(self):
+        chain = MarkovChain([0.5, 0.5], [[0.6, 0.4], [0.4, 0.6]])
+        gamma = chain_influence_matrix(chain, 6)
+        for i in range(6):
+            for j in range(6):
+                if abs(i - j) > 1:
+                    assert gamma[i, j] == 0.0
+                elif abs(i - j) == 1:
+                    assert gamma[i, j] > 0.0
+
+    def test_weak_correlation_small_influence(self):
+        near_iid = MarkovChain([0.5, 0.5], [[0.51, 0.49], [0.49, 0.51]])
+        gamma = chain_influence_matrix(near_iid, 5)
+        assert gamma.max() < 0.05
+
+    def test_strong_correlation_large_influence(self):
+        sticky = MarkovChain([0.5, 0.5], [[0.95, 0.05], [0.05, 0.95]])
+        gamma = chain_influence_matrix(sticky, 5)
+        assert gamma.max() > 0.5
+
+    def test_single_node_no_influence(self):
+        chain = MarkovChain([0.5, 0.5], [[0.6, 0.4], [0.4, 0.6]])
+        assert chain_influence_matrix(chain, 1).max() == 0.0
+
+
+class TestGK16Mechanism:
+    def test_applicable_for_weak_correlation(self):
+        family = IntervalChainFamily(0.45, grid_step=0.05)
+        mech = GK16Mechanism(family, 1.0, length=100)
+        assert mech.is_applicable()
+
+    def test_not_applicable_for_strong_correlation(self):
+        """The dashed-line region of Figure 4: rho >= 1 for wide families."""
+        family = IntervalChainFamily(0.1, grid_step=0.1)
+        mech = GK16Mechanism(family, 1.0, length=100)
+        assert not mech.is_applicable()
+        with pytest.raises(NotApplicableError):
+            mech.noise_scale(StateFrequencyQuery(1, 100), np.zeros(100, dtype=int))
+
+    def test_applicability_epsilon_independent(self):
+        """The paper: 'the position of this line does not change with eps'."""
+        family = IntervalChainFamily(0.2, grid_step=0.1)
+        flags = {
+            eps: GK16Mechanism(family, eps, length=100).is_applicable()
+            for eps in (0.2, 1.0, 5.0)
+        }
+        assert len(set(flags.values())) == 1
+
+    def test_noise_increases_with_rho(self):
+        weak = GK16Mechanism(IntervalChainFamily(0.45, grid_step=0.05), 1.0, length=100)
+        stronger = GK16Mechanism(IntervalChainFamily(0.42, grid_step=0.02), 1.0, length=100)
+        query = StateFrequencyQuery(1, 100)
+        data = np.zeros(100, dtype=int)
+        assert stronger.noise_scale(query, data) > weak.noise_scale(query, data)
+
+    def test_amplification_formula(self):
+        chain = MarkovChain([0.5, 0.5], [[0.55, 0.45], [0.45, 0.55]])
+        mech = GK16Mechanism(chain, 1.0, length=50)
+        rho = mech.rho(50)
+        assert mech.amplification(50) == pytest.approx((1 + rho) / (1 - rho))
+
+    def test_sticky_activity_like_chain_not_applicable(self):
+        """Real sticky chains (self-loops ~0.99) violate the spectral
+        condition — the paper's N/A entries in Tables 1-3."""
+        matrix = np.full((4, 4), 0.01 / 3) + np.eye(4) * (0.99 - 0.01 / 3)
+        sticky = MarkovChain([0.25, 0.25, 0.25, 0.25], matrix)
+        mech = GK16Mechanism(sticky.with_stationary_initial(), 1.0, length=200)
+        assert not mech.is_applicable()

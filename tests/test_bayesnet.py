@@ -1,0 +1,169 @@
+"""Unit tests for the discrete Bayesian-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def diamond():
+    """The Figure 2 network: X1 -> {X2, X3} -> X4."""
+    net = DiscreteBayesianNetwork()
+    net.add_node("X1", 2, cpd=[0.6, 0.4])
+    net.add_node("X2", 2, parents=["X1"], cpd=[[0.7, 0.3], [0.2, 0.8]])
+    net.add_node("X3", 2, parents=["X1"], cpd=[[0.9, 0.1], [0.4, 0.6]])
+    net.add_node(
+        "X4",
+        2,
+        parents=["X2", "X3"],
+        cpd=[[[0.8, 0.2], [0.5, 0.5]], [[0.3, 0.7], [0.1, 0.9]]],
+    )
+    return net
+
+
+@pytest.fixture
+def chain5():
+    return DiscreteBayesianNetwork.chain(
+        np.array([0.8, 0.2]), np.array([[0.9, 0.1], [0.4, 0.6]]), 5
+    )
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[0.5, 0.5])
+        with pytest.raises(ValidationError):
+            net.add_node("A", 2, cpd=[0.5, 0.5])
+
+    def test_unknown_parent_rejected(self):
+        net = DiscreteBayesianNetwork()
+        with pytest.raises(ValidationError):
+            net.add_node("B", 2, parents=["missing"], cpd=[[0.5, 0.5]])
+
+    def test_cpd_shape_checked(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[0.5, 0.5])
+        with pytest.raises(ValidationError):
+            net.add_node("B", 2, parents=["A"], cpd=[0.5, 0.5])
+
+    def test_cpd_normalization_checked(self):
+        net = DiscreteBayesianNetwork()
+        with pytest.raises(ValidationError):
+            net.add_node("A", 2, cpd=[0.5, 0.6])
+
+    def test_structure_queries(self, diamond):
+        assert diamond.parents("X4") == ("X2", "X3")
+        assert diamond.children("X1") == ("X2", "X3")
+        assert diamond.n_states("X1") == 2
+        assert diamond.nodes == ("X1", "X2", "X3", "X4")
+
+
+class TestMarkovBlanket:
+    def test_chain_blanket_is_neighbors(self, chain5):
+        assert chain5.markov_blanket("X3") == frozenset({"X2", "X4"})
+        assert chain5.markov_blanket("X1") == frozenset({"X2"})
+
+    def test_diamond_blanket_includes_coparents(self, diamond):
+        assert diamond.markov_blanket("X2") == frozenset({"X1", "X3", "X4"})
+
+
+class TestDSeparation:
+    def test_chain_separation(self, chain5):
+        assert chain5.is_d_separated("X1", {"X5"}, {"X3"})
+        assert not chain5.is_d_separated("X1", {"X5"}, set())
+
+    def test_collider_opens_path(self, diamond):
+        # X2 and X3 are d-separated given X1 but *not* given {X1, X4}.
+        assert diamond.is_d_separated("X2", {"X3"}, {"X1"})
+        assert not diamond.is_d_separated("X2", {"X3"}, {"X1", "X4"})
+
+    def test_blanket_separates_everything(self, diamond):
+        for node in diamond.nodes:
+            blanket = diamond.markov_blanket(node)
+            rest = set(diamond.nodes) - {node} - blanket
+            assert diamond.is_d_separated(node, rest, blanket)
+
+
+class TestQuilts:
+    def test_trivial_quilt(self, chain5):
+        quilt = chain5.trivial_quilt("X3")
+        assert quilt.is_trivial
+        assert quilt.card_nearby() == 5
+
+    def test_quilt_from_set_valid(self, chain5):
+        quilt = chain5.quilt_from_set("X3", {"X2", "X4"})
+        assert quilt is not None
+        assert quilt.nearby == frozenset({"X3"})
+        assert quilt.remote == frozenset({"X1", "X5"})
+
+    def test_quilt_from_set_one_sided(self, chain5):
+        quilt = chain5.quilt_from_set("X1", {"X3"})
+        assert quilt is not None
+        assert quilt.nearby == frozenset({"X1", "X2"})
+        assert quilt.remote == frozenset({"X4", "X5"})
+
+    def test_invalid_separator_returns_none(self, diamond):
+        # Removing {X1, X4} skeleton-disconnects X3 from X2, but conditioning
+        # on the collider X4 opens the path X2 -> X4 <- X3: not a valid quilt.
+        assert diamond.quilt_from_set("X2", {"X1", "X4"}) is None
+
+    def test_separator_leaving_no_remote_is_valid(self, diamond):
+        # Removing {X2} leaves X4 reachable through X3, so everything stays
+        # "nearby" and the quilt is (vacuously) valid.
+        quilt = diamond.quilt_from_set("X1", {"X2"})
+        assert quilt is not None
+        assert quilt.remote == frozenset()
+
+    def test_distance_quilts_include_trivial(self, chain5):
+        quilts = chain5.distance_quilts("X3")
+        assert any(q.is_trivial for q in quilts)
+        assert len(quilts) >= 2
+
+    def test_distance_quilts_are_valid(self, diamond):
+        for node in diamond.nodes:
+            for quilt in diamond.distance_quilts(node):
+                if quilt.remote:
+                    assert diamond.is_d_separated(node, quilt.remote, quilt.quilt)
+
+
+class TestInference:
+    def test_joint_sums_to_one(self, diamond):
+        _, probs = diamond.enumerate_joint()
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_joint_matches_factorization(self, diamond):
+        assignments, probs = diamond.enumerate_joint()
+        idx = assignments.index((1, 0, 1, 1))
+        expected = 0.4 * 0.2 * 0.6 * 0.5
+        np.testing.assert_allclose(probs[idx], expected)
+
+    def test_marginal_of_root(self, diamond):
+        np.testing.assert_allclose(diamond.marginal_of("X1"), [0.6, 0.4])
+
+    def test_chain_marginal_matches_markov(self, chain5):
+        from repro.distributions.markov import MarkovChain
+
+        chain = MarkovChain([0.8, 0.2], [[0.9, 0.1], [0.4, 0.6]])
+        np.testing.assert_allclose(chain5.marginal_of("X3"), chain.marginal(2), atol=1e-12)
+
+    def test_conditional_table_normalizes(self, diamond):
+        table = diamond.conditional_table(["X4"], {"X1": 0})
+        np.testing.assert_allclose(sum(table.values()), 1.0)
+
+    def test_conditional_zero_probability_event(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[1.0, 0.0])
+        with pytest.raises(ValidationError):
+            net.conditional_table(["A"], {"A": 1})
+
+    def test_conditional_independence_via_quilt(self, chain5):
+        """P(X5 | X3=v, X1=a) should not depend on a (X3 separates)."""
+        t0 = chain5.conditional_table(["X5"], {"X3": 0, "X1": 0})
+        t1 = chain5.conditional_table(["X5"], {"X3": 0, "X1": 1})
+        for key in t0:
+            np.testing.assert_allclose(t0[key], t1.get(key, 0.0), atol=1e-10)
+
+    def test_joint_size(self, diamond):
+        assert diamond.joint_size() == 16

@@ -1,0 +1,121 @@
+"""Unit tests for chain families (the distribution classes Theta)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import NotApplicableError, ValidationError
+
+
+def make_chain(p0, p1, q0=0.5):
+    return MarkovChain([q0, 1 - q0], [[p0, 1 - p0], [1 - p1, p1]])
+
+
+class TestFiniteChainFamily:
+    def test_requires_members(self):
+        with pytest.raises(ValidationError):
+            FiniteChainFamily([])
+
+    def test_requires_common_state_space(self):
+        three = MarkovChain(np.ones(3) / 3, np.full((3, 3), 1 / 3))
+        with pytest.raises(ValidationError):
+            FiniteChainFamily([make_chain(0.5, 0.5), three])
+
+    def test_running_example_family_stats(self):
+        theta1 = MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+        theta2 = MarkovChain([0.9, 0.1], [[0.8, 0.2], [0.3, 0.7]])
+        family = FiniteChainFamily([theta1, theta2])
+        assert family.pi_min() == pytest.approx(0.2, abs=1e-9)
+        assert len(family) == 2
+        assert family.n_states == 2
+        assert not family.free_initial
+
+    def test_singleton(self):
+        family = FiniteChainFamily.singleton(make_chain(0.7, 0.6))
+        assert len(family) == 1
+
+    def test_eigengap_is_min_over_members(self):
+        fast = make_chain(0.5, 0.5)  # lambda_2 = 0, reversible gap 2
+        slow = make_chain(0.9, 0.9)  # lambda_2 = 0.8, reversible gap 0.4
+        family = FiniteChainFamily([fast, slow])
+        assert family.eigengap() == pytest.approx(slow.eigengap(), abs=1e-9)
+
+    def test_require_mixing_raises_for_periodic_member(self):
+        periodic = MarkovChain([0.5, 0.5], [[0.0, 1.0], [1.0, 0.0]])
+        family = FiniteChainFamily([periodic])
+        with pytest.raises(NotApplicableError):
+            family.require_mixing()
+
+    def test_reversible_flag(self):
+        family = FiniteChainFamily([make_chain(0.7, 0.6)])
+        assert family.reversible  # all two-state chains are reversible
+
+
+class TestIntervalChainFamily:
+    def test_default_beta(self):
+        family = IntervalChainFamily(0.2)
+        assert family.beta == pytest.approx(0.8)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValidationError):
+            IntervalChainFamily(0.7, 0.3)
+
+    def test_rejects_degenerate_alpha(self):
+        with pytest.raises(ValidationError):
+            IntervalChainFamily(0.0)
+
+    def test_pi_min_closed_form_matches_grid(self):
+        family = IntervalChainFamily(0.2, grid_step=0.05)
+        grid_min = min(chain.pi_min() for chain in family.chains())
+        assert family.pi_min() == pytest.approx(grid_min, abs=1e-9)
+
+    def test_pi_min_symmetric_interval(self):
+        """For beta = 1 - alpha the closed form collapses to alpha."""
+        for alpha in (0.1, 0.25, 0.4):
+            family = IntervalChainFamily(alpha)
+            assert family.pi_min() == pytest.approx(alpha, abs=1e-12)
+
+    def test_eigengap_closed_form_matches_grid(self):
+        family = IntervalChainFamily(0.3, grid_step=0.05)
+        grid_gap = min(chain.eigengap(reversible=True) for chain in family.chains())
+        assert family.eigengap() == pytest.approx(grid_gap, abs=1e-9)
+
+    def test_eigengap_symmetric_interval(self):
+        """For beta = 1 - alpha the reversible gap is 4 * alpha."""
+        for alpha in (0.1, 0.25, 0.4):
+            assert IntervalChainFamily(alpha).eigengap() == pytest.approx(4 * alpha)
+
+    def test_grid_includes_endpoints(self):
+        family = IntervalChainFamily(0.2, 0.5, grid_step=0.07)
+        grid = family.parameter_grid()
+        assert grid[0] == pytest.approx(0.2)
+        assert grid[-1] == pytest.approx(0.5)
+
+    def test_grid_of_point_interval(self):
+        family = IntervalChainFamily(0.3, 0.3)
+        assert family.parameter_grid().size == 1
+
+    def test_chain_count_is_grid_squared(self):
+        family = IntervalChainFamily(0.3, grid_step=0.1)
+        n = family.parameter_grid().size
+        assert sum(1 for _ in family.chains()) == n * n
+
+    def test_free_initial_flag(self):
+        assert IntervalChainFamily(0.2).free_initial
+
+    def test_stationary_for_closed_form(self):
+        pi = IntervalChainFamily.stationary_for(0.9, 0.6)
+        chain = MarkovChain(pi, IntervalChainFamily.transition_for(0.9, 0.6))
+        np.testing.assert_allclose(chain.stationary(), pi, atol=1e-9)
+
+    def test_sample_theta_within_interval(self):
+        family = IntervalChainFamily(0.25)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            theta = family.sample_theta(rng)
+            p0 = theta.transition[0, 0]
+            p1 = theta.transition[1, 1]
+            assert 0.25 <= p0 <= 0.75
+            assert 0.25 <= p1 <= 0.75
+            np.testing.assert_allclose(theta.initial.sum(), 1.0)

@@ -1,0 +1,103 @@
+"""Tests for the Lemma 4.6 quilt sets on path-graph Bayesian networks, and
+the resulting parity between Algorithm 2 and Algorithm 3."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism
+from repro.core.mqm_chain import MQMExact
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+INITIAL = np.array([0.7, 0.3])
+TRANSITION = np.array([[0.85, 0.15], [0.3, 0.7]])
+
+
+@pytest.fixture
+def chain_net():
+    return DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 6)
+
+
+@pytest.fixture
+def markov_chain():
+    return MarkovChain(INITIAL, TRANSITION)
+
+
+class TestPathDetection:
+    def test_chain_is_path(self, chain_net):
+        assert chain_net.is_path_graph()
+
+    def test_single_node_is_path(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[0.5, 0.5])
+        assert net.is_path_graph()
+
+    def test_tree_is_not_path(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("r", 2, cpd=[0.5, 0.5])
+        for child in ("a", "b", "c"):
+            net.add_node(child, 2, parents=["r"], cpd=[[0.6, 0.4], [0.3, 0.7]])
+        assert not net.is_path_graph()
+        with pytest.raises(ValidationError):
+            net.chain_quilts("r")
+
+
+class TestChainQuilts:
+    def test_count_matches_lemma_4_6(self, chain_net):
+        """For node at position i (0-based) in a chain of length T the set
+        has i left-only + (T-1-i) right-only + i*(T-1-i) two-sided + 1
+        trivial quilts (unwindowed)."""
+        quilts = chain_net.chain_quilts("X3")  # position 2, T = 6
+        i, rest = 2, 3
+        assert len(quilts) == 1 + i + rest + i * rest
+
+    def test_quilts_are_valid_separators(self, chain_net):
+        for quilt in chain_net.chain_quilts("X4"):
+            if quilt.remote:
+                assert chain_net.is_d_separated(quilt.node, quilt.remote, quilt.quilt)
+
+    def test_two_sided_cardinality(self, chain_net):
+        quilts = chain_net.chain_quilts("X3")
+        two_sided = [q for q in quilts if len(q.quilt) == 2]
+        for quilt in two_sided:
+            members = sorted(int(n[1:]) for n in quilt.quilt)
+            a = 3 - members[0]
+            b = members[1] - 3
+            assert quilt.card_nearby() == a + b - 1
+
+    def test_window_limits_extent(self, chain_net):
+        quilts = chain_net.chain_quilts("X3", max_window=1)
+        # window 1: endpoints at distance 1 only — the one-sided neighbor
+        # quilts plus the nearest two-sided quilt (card(X_N) = 1) + trivial.
+        for quilt in quilts:
+            if quilt.is_trivial:
+                continue
+            members = sorted(int(n[1:]) for n in quilt.quilt)
+            assert all(abs(m - 3) == 1 for m in members)
+
+    def test_endpoint_node_has_one_sided_only(self, chain_net):
+        quilts = chain_net.chain_quilts("X1")
+        assert all(q.is_trivial or len(q.quilt) == 1 for q in quilts)
+
+
+class TestAlgorithm2Parity:
+    def test_general_mechanism_matches_mqm_exact(self, chain_net, markov_chain):
+        """With Lemma 4.6 quilt sets, Algorithm 2's sigma equals Algorithm 3's."""
+        epsilon = 2.0
+        quilt_sets = {node: chain_net.chain_quilts(node) for node in chain_net.nodes}
+        general = MarkovQuiltMechanism([chain_net], epsilon=epsilon, quilt_sets=quilt_sets)
+        exact = MQMExact(FiniteChainFamily([markov_chain]), epsilon, max_window=6)
+        assert general.sigma_max() == pytest.approx(exact.sigma_max(6), rel=1e-9)
+
+    def test_asymmetric_quilts_beat_symmetric(self, chain_net):
+        """The richer Lemma 4.6 set can only lower sigma vs distance quilts."""
+        epsilon = 2.0
+        symmetric = MarkovQuiltMechanism([chain_net], epsilon=epsilon)
+        asymmetric = MarkovQuiltMechanism(
+            [chain_net],
+            epsilon=epsilon,
+            quilt_sets={n: chain_net.chain_quilts(n) for n in chain_net.nodes},
+        )
+        assert asymmetric.sigma_max() <= symmetric.sigma_max() + 1e-12

@@ -1,0 +1,53 @@
+"""Tests for the chain-level Theorem 2.4 convenience wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.robustness import chain_adversary_distance, effective_epsilon
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+
+
+def chain(p0, p1, q0=0.6):
+    return MarkovChain([q0, 1 - q0], [[p0, 1 - p0], [1 - p1, p1]])
+
+
+class TestChainAdversaryDistance:
+    def test_zero_for_member_belief(self):
+        theta = chain(0.8, 0.7)
+        family = FiniteChainFamily([theta])
+        assert chain_adversary_distance(theta, family, 4) == pytest.approx(0.0, abs=1e-10)
+
+    def test_grows_with_drift(self):
+        family = FiniteChainFamily([chain(0.8, 0.7)])
+        deltas = [
+            chain_adversary_distance(chain(0.8 + d, 0.7 - d), family, 4)
+            for d in (0.0, 0.05, 0.1)
+        ]
+        assert deltas[0] < deltas[1] < deltas[2]
+
+    def test_infimum_over_family(self):
+        tilde = chain(0.75, 0.72)
+        near = chain(0.76, 0.72)
+        far = chain(0.4, 0.4)
+        d_near_only = chain_adversary_distance(tilde, FiniteChainFamily([near]), 4)
+        d_both = chain_adversary_distance(tilde, FiniteChainFamily([far, near]), 4)
+        assert d_both == pytest.approx(d_near_only)
+
+    def test_accepts_plain_iterables(self):
+        tilde = chain(0.8, 0.7)
+        delta = chain_adversary_distance(tilde, [chain(0.82, 0.7)], 3)
+        assert delta >= 0
+
+    def test_effective_epsilon_integration(self):
+        family = FiniteChainFamily([chain(0.8, 0.7)])
+        delta = chain_adversary_distance(chain(0.85, 0.7), family, 4)
+        assert effective_epsilon(1.0, delta) == pytest.approx(1.0 + 2 * delta)
+
+    def test_prefix_monotone(self):
+        """Longer prefixes can only reveal more disagreement."""
+        family = FiniteChainFamily([chain(0.8, 0.7)])
+        tilde = chain(0.85, 0.65)
+        d3 = chain_adversary_distance(tilde, family, 3)
+        d5 = chain_adversary_distance(tilde, family, 5)
+        assert d5 >= d3 - 1e-12

@@ -1,0 +1,199 @@
+"""Unit tests for dataset containers and generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.activity import (
+    ACTIVITY_STATES,
+    default_cohorts,
+    generate_cohort,
+    generate_participant,
+    generate_study,
+)
+from repro.data.datasets import Participant, StudyGroup, TimeSeriesDataset
+from repro.data.estimation import empirical_chain
+from repro.data.power import default_power_chain, generate_power_dataset
+from repro.data.synthetic import sample_binary_dataset
+from repro.distributions.chain_family import IntervalChainFamily
+from repro.exceptions import ValidationError
+
+
+class TestTimeSeriesDataset:
+    def test_basic_properties(self):
+        data = TimeSeriesDataset([np.array([0, 1, 1]), np.array([1, 0])], 2)
+        assert data.n_observations == 5
+        assert data.segment_lengths == (3, 2)
+        assert data.longest_segment == 3
+        np.testing.assert_array_equal(data.concatenated, [0, 1, 1, 1, 0])
+
+    def test_relative_frequencies(self):
+        data = TimeSeriesDataset([np.array([0, 1, 1, 2])], 3)
+        np.testing.assert_allclose(data.relative_frequencies(), [0.25, 0.5, 0.25])
+
+    def test_empty_segments_dropped(self):
+        data = TimeSeriesDataset([np.array([0]), np.array([], dtype=int)], 2)
+        assert data.segment_lengths == (1,)
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesDataset([np.array([], dtype=int)], 2)
+
+    def test_out_of_range_states_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesDataset([np.array([0, 5])], 2)
+
+    def test_from_timestamps_splits_on_gaps(self):
+        values = np.array([0, 1, 0, 1, 1])
+        times = np.array([0.0, 12.0, 24.0, 700.0, 712.0])
+        data = TimeSeriesDataset.from_timestamps(
+            values, times, 2, gap_threshold=600.0
+        )
+        assert data.segment_lengths == (3, 2)
+
+    def test_from_timestamps_sorts(self):
+        values = np.array([1, 0])
+        times = np.array([10.0, 0.0])
+        data = TimeSeriesDataset.from_timestamps(values, times, 2, gap_threshold=60.0)
+        np.testing.assert_array_equal(data.concatenated, [0, 1])
+
+    def test_merge(self):
+        a = TimeSeriesDataset([np.array([0])], 2)
+        b = TimeSeriesDataset([np.array([1, 1])], 2)
+        merged = a.merged_with(b)
+        assert merged.n_observations == 3
+
+    def test_merge_rejects_state_mismatch(self):
+        a = TimeSeriesDataset([np.array([0])], 2)
+        b = TimeSeriesDataset([np.array([2])], 3)
+        with pytest.raises(ValidationError):
+            a.merged_with(b)
+
+
+class TestStudyGroup:
+    def make_group(self):
+        participants = [
+            Participant("p1", TimeSeriesDataset([np.array([0, 1])], 2)),
+            Participant("p2", TimeSeriesDataset([np.array([1, 1, 1])], 2)),
+        ]
+        return StudyGroup("test", participants)
+
+    def test_pooled_dataset(self):
+        group = self.make_group()
+        pooled = group.pooled_dataset()
+        assert pooled.n_observations == 5
+        assert pooled.segment_lengths == (2, 3)
+
+    def test_participant_sizes(self):
+        assert self.make_group().participant_sizes() == [2, 3]
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValidationError):
+            StudyGroup("empty", [])
+
+
+class TestSyntheticData:
+    def test_shapes_and_interval(self):
+        family = IntervalChainFamily(0.3)
+        data, theta = sample_binary_dataset(family, 100, rng=0)
+        assert data.n_observations == 100
+        assert 0.3 <= theta.transition[0, 0] <= 0.7
+
+    def test_deterministic_with_seed(self):
+        family = IntervalChainFamily(0.3)
+        a, _ = sample_binary_dataset(family, 50, rng=5)
+        b, _ = sample_binary_dataset(family, 50, rng=5)
+        np.testing.assert_array_equal(a.concatenated, b.concatenated)
+
+
+class TestActivityData:
+    def test_default_cohort_shapes(self):
+        profiles = default_cohorts()
+        assert [p.name for p in profiles] == ["cyclist", "older_woman", "overweight_woman"]
+        assert [p.n_participants for p in profiles] == [40, 16, 36]
+
+    def test_cohort_stationary_profiles(self):
+        """Cyclists most active; overweight women most sedentary (Fig 4)."""
+        by_name = {p.name: p.chain().stationary() for p in default_cohorts()}
+        active = ACTIVITY_STATES.index("active")
+        sedentary = ACTIVITY_STATES.index("sedentary")
+        assert by_name["cyclist"][active] > by_name["older_woman"][active]
+        assert by_name["cyclist"][active] > by_name["overweight_woman"][active]
+        assert by_name["overweight_woman"][sedentary] > by_name["cyclist"][sedentary]
+        assert by_name["overweight_woman"][sedentary] > by_name["older_woman"][sedentary]
+
+    def test_participant_generation(self):
+        profile = default_cohorts()[0]
+        participant = generate_participant(profile, "c-1", rng=0)
+        assert participant.dataset.n_states == 4
+        assert participant.dataset.n_observations >= 200
+        assert len(participant.dataset.segments) >= 1
+
+    def test_cohort_generation_deterministic(self):
+        profile = default_cohorts()[1]
+        g1 = generate_cohort(profile, rng=3)
+        g2 = generate_cohort(profile, rng=3)
+        assert g1.n_participants == g2.n_participants == 16
+        np.testing.assert_array_equal(
+            g1.participants[0].dataset.concatenated,
+            g2.participants[0].dataset.concatenated,
+        )
+
+    def test_scaled_study(self):
+        groups = generate_study(rng=0, scale=0.1)
+        assert len(groups) == 3
+        assert groups[0].n_participants == 4  # 40 * 0.1
+        assert all(g.n_states == 4 for g in groups)
+
+
+class TestPowerData:
+    def test_chain_properties(self):
+        chain = default_power_chain()
+        assert chain.n_states == 51
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+        assert chain.eigengap() > 0
+        # Heavy-tailed occupancy: baseload dominates, peak states are rare.
+        pi = chain.stationary()
+        assert pi[0] > 20 * pi[-1]
+        assert chain.pi_min() > 1e-7
+
+    def test_dataset_generation(self):
+        data, chain = generate_power_dataset(5000, rng=0)
+        assert data.n_observations == 5000
+        assert len(data.segments) == 1
+        assert data.concatenated.max() < 51
+
+    def test_small_state_space_variant(self):
+        chain = default_power_chain(n_states=11)
+        assert chain.n_states == 11
+        assert chain.is_irreducible()
+
+
+class TestEstimation:
+    def test_empirical_chain_recovers_generator(self):
+        chain = default_power_chain(n_states=5)
+        data, _ = generate_power_dataset(200_000, rng=1, chain=chain)
+        estimated = empirical_chain(data, smoothing=0.1)
+        np.testing.assert_allclose(estimated.transition, chain.transition, atol=0.03)
+
+    def test_smoothed_chain_is_mixing(self):
+        data = TimeSeriesDataset([np.array([0, 0, 0, 1, 0])], 3)  # state 2 unseen
+        estimated = empirical_chain(data, smoothing=0.5)
+        assert estimated.is_irreducible()
+        assert estimated.is_aperiodic()
+
+    def test_study_group_pooling(self):
+        profile = default_cohorts()[0]
+        group = generate_cohort(
+            type(profile)(
+                name="mini",
+                n_participants=3,
+                transition=profile.transition,
+                mean_observations=500,
+                mean_segments=2,
+            ),
+            rng=0,
+        )
+        estimated = empirical_chain(group, smoothing=0.5)
+        assert estimated.n_states == 4
+        np.testing.assert_allclose(estimated.initial @ estimated.transition, estimated.initial, atol=1e-8)

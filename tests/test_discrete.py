@@ -1,0 +1,146 @@
+"""Unit tests for DiscreteDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.3, 0.7]))
+        assert d.n_atoms == 2
+
+    def test_from_pairs_merges_duplicates(self):
+        d = DiscreteDistribution.from_pairs([(1.0, 0.25), (0.0, 0.5), (1.0, 0.25)])
+        np.testing.assert_allclose(d.atoms, [0.0, 1.0])
+        np.testing.assert_allclose(d.probs, [0.5, 0.5])
+
+    def test_from_pairs_drops_zero_mass(self):
+        d = DiscreteDistribution.from_pairs([(0.0, 1.0), (5.0, 0.0)])
+        assert d.n_atoms == 1
+
+    def test_from_mapping(self):
+        d = DiscreteDistribution.from_mapping({2.0: 0.5, -1.0: 0.5})
+        np.testing.assert_allclose(d.atoms, [-1.0, 2.0])
+
+    def test_from_samples(self):
+        d = DiscreteDistribution.from_samples([1, 1, 2, 2, 2, 3])
+        np.testing.assert_allclose(d.probs, [2 / 6, 3 / 6, 1 / 6])
+
+    def test_point_mass(self):
+        d = DiscreteDistribution.point_mass(4.0)
+        assert d.mean() == 4.0
+        assert d.variance() == 0.0
+
+    def test_rejects_unsorted_atoms(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution(np.array([1.0, 0.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution.from_pairs([(0.0, -0.5), (1.0, 1.5)])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution.from_pairs([(0.0, 0.0)])
+
+
+class TestQueries:
+    @pytest.fixture
+    def dist(self):
+        return DiscreteDistribution(np.array([0.0, 1.0, 3.0]), np.array([0.2, 0.5, 0.3]))
+
+    def test_mean(self, dist):
+        np.testing.assert_allclose(dist.mean(), 0.2 * 0 + 0.5 * 1 + 0.3 * 3)
+
+    def test_variance_nonnegative(self, dist):
+        assert dist.variance() >= 0
+
+    def test_cdf_values(self, dist):
+        assert dist.cdf(-0.5) == 0.0
+        np.testing.assert_allclose(dist.cdf(0.0), 0.2)
+        np.testing.assert_allclose(dist.cdf(2.0), 0.7)
+        assert dist.cdf(3.0) == 1.0
+
+    def test_cdf_vectorized(self, dist):
+        np.testing.assert_allclose(dist.cdf(np.array([0.0, 1.0])), [0.2, 0.7])
+
+    def test_quantile_inverts_cdf(self, dist):
+        assert dist.quantile(0.1) == 0.0
+        assert dist.quantile(0.2) == 0.0
+        assert dist.quantile(0.21) == 1.0
+        assert dist.quantile(1.0) == 3.0
+
+    def test_quantile_rejects_bad_levels(self, dist):
+        with pytest.raises(ValidationError):
+            dist.quantile(1.5)
+
+    def test_probability_of(self, dist):
+        assert dist.probability_of(1.0) == 0.5
+        assert dist.probability_of(2.0) == 0.0
+
+    def test_support_drops_zeros(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        np.testing.assert_allclose(d.support(), [0.0])
+
+
+class TestTransforms:
+    def test_shift(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        shifted = d.shift(2.0)
+        np.testing.assert_allclose(shifted.atoms, [2.0, 3.0])
+
+    def test_scale_negative_flips_order(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.25, 0.75]))
+        scaled = d.scale(-1.0)
+        np.testing.assert_allclose(scaled.atoms, [-1.0, 0.0])
+        np.testing.assert_allclose(scaled.probs, [0.75, 0.25])
+
+    def test_scale_zero_collapses(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert d.scale(0.0).n_atoms == 1
+
+    def test_map_merges_images(self):
+        d = DiscreteDistribution(np.array([-1.0, 1.0]), np.array([0.5, 0.5]))
+        squared = d.map(lambda x: x * x)
+        assert squared.n_atoms == 1
+        assert squared.probability_of(1.0) == 1.0
+
+    def test_mixture_weights(self):
+        a = DiscreteDistribution.point_mass(0.0)
+        b = DiscreteDistribution.point_mass(1.0)
+        mix = a.mixture(b, 0.25)
+        np.testing.assert_allclose(mix.probs, [0.25, 0.75])
+
+    def test_mixture_rejects_bad_weight(self):
+        a = DiscreteDistribution.point_mass(0.0)
+        with pytest.raises(ValidationError):
+            a.mixture(a, 1.5)
+
+    def test_restrict(self):
+        d = DiscreteDistribution(np.array([0.0, 1.0, 2.0]), np.array([0.2, 0.3, 0.5]))
+        cond = d.restrict(lambda x: x >= 1)
+        np.testing.assert_allclose(cond.probs, [0.375, 0.625])
+
+    def test_restrict_zero_probability_event(self):
+        d = DiscreteDistribution.point_mass(0.0)
+        with pytest.raises(ValidationError):
+            d.restrict(lambda x: x > 10)
+
+    def test_sample_support(self):
+        d = DiscreteDistribution(np.array([3.0, 7.0]), np.array([0.5, 0.5]))
+        samples = d.sample(100, np.random.default_rng(0))
+        assert set(np.unique(samples)) <= {3.0, 7.0}
+
+    def test_allclose(self):
+        a = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        b = DiscreteDistribution.from_pairs([(1.0, 0.5), (0.0, 0.5)])
+        assert a.allclose(b)
+        c = DiscreteDistribution(np.array([0.0, 1.0]), np.array([0.4, 0.6]))
+        assert not a.allclose(c)

@@ -1,0 +1,154 @@
+"""Unit tests for distribution distances: TV, KL, max-divergence, W-infinity."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.metrics import (
+    kl_divergence,
+    max_divergence,
+    renyi_divergence,
+    symmetric_max_divergence,
+    total_variation,
+    w_infinity,
+)
+from repro.exceptions import ValidationError
+
+
+def dist(mapping):
+    return DiscreteDistribution.from_mapping(mapping)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        d = dist({0: 0.5, 1: 0.5})
+        assert total_variation(d, d) == 0.0
+
+    def test_disjoint_is_one(self):
+        a = dist({0: 1.0})
+        b = dist({1: 1.0})
+        assert total_variation(a, b) == 1.0
+
+    def test_known_value(self):
+        a = dist({0: 0.5, 1: 0.5})
+        b = dist({0: 0.25, 1: 0.75})
+        np.testing.assert_allclose(total_variation(a, b), 0.25)
+
+    def test_symmetry(self):
+        a = dist({0: 0.3, 1: 0.7})
+        b = dist({0: 0.6, 2: 0.4})
+        assert total_variation(a, b) == total_variation(b, a)
+
+
+class TestMaxDivergence:
+    def test_definition_2_3_example(self):
+        """The worked example under Definition 2.3: D_inf = log 2."""
+        p = dist({1: 1 / 3, 2: 1 / 2, 3: 1 / 6})
+        q = dist({1: 1 / 2, 2: 1 / 4, 3: 1 / 4})
+        np.testing.assert_allclose(max_divergence(p, q), np.log(2.0))
+
+    def test_identical_is_zero(self):
+        p = dist({0: 0.4, 1: 0.6})
+        np.testing.assert_allclose(max_divergence(p, p), 0.0, atol=1e-12)
+
+    def test_support_violation_is_infinite(self):
+        p = dist({0: 0.5, 1: 0.5})
+        q = dist({0: 1.0})
+        assert max_divergence(p, q) == float("inf")
+        assert np.isfinite(max_divergence(q, p))
+
+    def test_symmetric_version(self):
+        p = dist({0: 0.9, 1: 0.1})
+        q = dist({0: 0.5, 1: 0.5})
+        expected = max(max_divergence(p, q), max_divergence(q, p))
+        assert symmetric_max_divergence(p, q) == expected
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = dist({0: 0.5, 1: 0.5})
+        np.testing.assert_allclose(kl_divergence(p, p), 0.0, atol=1e-12)
+
+    def test_infinite_outside_support(self):
+        p = dist({0: 0.5, 1: 0.5})
+        q = dist({0: 1.0})
+        assert kl_divergence(p, q) == float("inf")
+
+    def test_bounded_by_max_divergence(self):
+        p = dist({0: 0.7, 1: 0.3})
+        q = dist({0: 0.4, 1: 0.6})
+        assert kl_divergence(p, q) <= max_divergence(p, q) + 1e-12
+
+
+class TestRenyi:
+    def test_order_one_matches_kl(self):
+        p = dist({0: 0.7, 1: 0.3})
+        q = dist({0: 0.4, 1: 0.6})
+        np.testing.assert_allclose(renyi_divergence(p, q, 1.0), kl_divergence(p, q))
+
+    def test_order_inf_matches_max_divergence(self):
+        p = dist({0: 0.7, 1: 0.3})
+        q = dist({0: 0.4, 1: 0.6})
+        np.testing.assert_allclose(
+            renyi_divergence(p, q, float("inf")), max_divergence(p, q)
+        )
+
+    def test_monotone_in_order(self):
+        p = dist({0: 0.7, 1: 0.3})
+        q = dist({0: 0.4, 1: 0.6})
+        values = [renyi_divergence(p, q, alpha) for alpha in (0.5, 2.0, 8.0, 64.0)]
+        assert all(v1 <= v2 + 1e-12 for v1, v2 in zip(values, values[1:]))
+
+    def test_rejects_non_positive_order(self):
+        p = dist({0: 1.0})
+        with pytest.raises(ValidationError):
+            renyi_divergence(p, p, 0.0)
+
+
+class TestWInfinity:
+    def test_identical_is_zero(self):
+        d = dist({0: 0.5, 2: 0.5})
+        assert w_infinity(d, d) == 0.0
+
+    def test_point_masses(self):
+        assert w_infinity(
+            DiscreteDistribution.point_mass(0.0), DiscreteDistribution.point_mass(3.5)
+        ) == pytest.approx(3.5)
+
+    def test_shift_law(self):
+        """W_inf(mu, mu + c) = |c| (monotone coupling shifts every atom)."""
+        mu = dist({0: 0.2, 1: 0.5, 4: 0.3})
+        for c in (0.5, 2.0, -1.5):
+            np.testing.assert_allclose(w_infinity(mu, mu.shift(c)), abs(c))
+
+    def test_symmetry(self):
+        a = dist({0: 0.3, 1: 0.7})
+        b = dist({0: 0.6, 3: 0.4})
+        np.testing.assert_allclose(w_infinity(a, b), w_infinity(b, a))
+
+    def test_flu_example_distance_is_two(self):
+        """Section 3.1: the conditional infected-count laws are W_inf = 2."""
+        mu0 = DiscreteDistribution(
+            np.arange(5, dtype=float), np.array([0.2, 0.225, 0.5, 0.075, 0.0])
+        )
+        mu1 = DiscreteDistribution(
+            np.arange(5, dtype=float), np.array([0.0, 0.075, 0.5, 0.225, 0.2])
+        )
+        np.testing.assert_allclose(w_infinity(mu0, mu1), 2.0)
+
+    def test_triangle_inequality(self):
+        a = dist({0: 0.5, 1: 0.5})
+        b = dist({0: 0.2, 2: 0.8})
+        c = dist({1: 0.9, 5: 0.1})
+        assert w_infinity(a, c) <= w_infinity(a, b) + w_infinity(b, c) + 1e-12
+
+    def test_bounded_by_support_range(self):
+        a = dist({0: 0.5, 4: 0.5})
+        b = dist({1: 1.0})
+        assert w_infinity(a, b) <= 4.0
+
+    def test_dominates_mean_difference(self):
+        """W_inf >= W_1 >= |mean difference|."""
+        a = dist({0: 0.5, 2: 0.5})
+        b = dist({1: 0.25, 3: 0.75})
+        assert w_infinity(a, b) >= abs(a.mean() - b.mean()) - 1e-12

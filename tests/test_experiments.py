@@ -1,0 +1,115 @@
+"""Structure and shape tests for the experiment harnesses (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig4_activity,
+    fig4_synthetic,
+    section3_flu,
+    section44_running_example,
+    table3_power,
+)
+from repro.experiments.config import ActivityConfig, PowerConfig, SyntheticConfig
+
+TINY_SYNTH = SyntheticConfig(
+    length=60, alphas=(0.15, 0.35), epsilons=(1.0,), n_trials=40, grid_step=0.2, seed=1
+)
+TINY_ACTIVITY = ActivityConfig(n_trials=2, scale=0.1, seed=2)
+TINY_POWER = PowerConfig(length=20_000, epsilons=(1.0, 5.0), n_trials=3, seed=3)
+
+
+class TestFig4Synthetic:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return fig4_synthetic.run(TINY_SYNTH)
+
+    def test_one_table_per_epsilon(self, tables):
+        assert set(tables) == {1.0}
+
+    def test_rows_and_columns(self, tables):
+        table = tables[1.0]
+        rows = table.to_dict()
+        assert set(rows) == {"GroupDP", "GK16", "MQMApprox", "MQMExact"}
+        assert all(len(v) == len(TINY_SYNTH.alphas) for v in rows.values())
+
+    def test_gk16_na_region(self, tables):
+        rows = tables[1.0].to_dict()
+        assert rows["GK16"][0] is None  # alpha = 0.15: strong correlation
+        assert rows["GK16"][1] is not None  # alpha = 0.35: applies
+
+    def test_mqm_errors_shrink_with_alpha(self, tables):
+        rows = tables[1.0].to_dict()
+        assert rows["MQMExact"][1] < rows["MQMExact"][0]
+        assert rows["MQMApprox"][1] < rows["MQMApprox"][0]
+
+    def test_cutoff_epsilon_free(self):
+        cutoff = fig4_synthetic.gk16_cutoff(TINY_SYNTH)
+        assert cutoff == pytest.approx(0.35)
+
+    def test_noise_scales_contract(self):
+        from repro.distributions.chain_family import IntervalChainFamily
+
+        family = IntervalChainFamily(0.3, grid_step=0.2)
+        scales = fig4_synthetic.noise_scales(family, 1.0, 60)
+        assert set(scales) == {"GroupDP", "GK16", "MQMApprox", "MQMExact"}
+        assert scales["GroupDP"] == pytest.approx(1.0)
+        assert scales["MQMExact"] <= scales["MQMApprox"]
+
+
+class TestFig4Activity:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return fig4_activity.run(TINY_ACTIVITY)
+
+    def test_three_cohorts(self, tables):
+        assert set(tables) == {"cyclist", "older_woman", "overweight_woman"}
+
+    def test_histogram_rows(self, tables):
+        for table in tables.values():
+            rows = table.to_dict()
+            assert set(rows) == {"Exact", "GroupDP", "MQMApprox", "MQMExact"}
+            exact = np.asarray(rows["Exact"], dtype=float)
+            np.testing.assert_allclose(exact.sum(), 1.0, atol=1e-9)
+
+    def test_gk16_is_na(self, tables):
+        for table in tables.values():
+            assert "N/A" in table.title
+
+
+class TestTable3Power:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table3_power.run(TINY_POWER)
+
+    def test_shape(self, table):
+        rows = table.to_dict()
+        assert set(rows) == {"GroupDP", "GK16", "MQMApprox", "MQMExact"}
+        assert all(len(v) == 2 for v in rows.values())
+
+    def test_orderings(self, table):
+        assert table3_power.check_orderings(table) == []
+
+    def test_groupdp_error_matches_closed_form(self, table):
+        """GroupDP on one unbroken chain: E[L1] = k * 2 / eps exactly."""
+        rows = table.to_dict()
+        assert rows["GroupDP"][0] == pytest.approx(51 * 2 / 1.0, rel=0.25)
+        assert rows["GroupDP"][1] == pytest.approx(51 * 2 / 5.0, rel=0.25)
+
+
+class TestWorkedExampleModules:
+    def test_flu_table(self):
+        table = section3_flu.run(n_trials=200, seed=0)
+        rows = table.to_dict()
+        assert rows["Wasserstein bound W (paper: 2)"][0] == pytest.approx(2.0)
+        assert rows["GroupDP sensitivity (paper: 4)"][0] == pytest.approx(4.0)
+
+    def test_running_example_tables(self):
+        composition, running = section44_running_example.run()
+        comp_rows = composition.to_dict()
+        assert comp_rows["{X1, X3}"][2] == pytest.approx(0.1558, abs=1e-4)
+        run_rows = running.to_dict()
+        assert run_rows["sigma(theta1), literal Eq. (5)"][0] == pytest.approx(
+            13.0219, abs=2e-4
+        )
+        assert run_rows["sigma(theta2)"][0] == pytest.approx(10.6402, abs=2e-4)

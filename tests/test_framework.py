@@ -1,0 +1,86 @@
+"""Unit tests for the Pufferfish framework containers."""
+
+import pytest
+
+from repro.core.framework import (
+    PufferfishInstantiation,
+    Secret,
+    SecretPair,
+    entrywise_instantiation,
+    entrywise_pairs,
+    entrywise_secrets,
+)
+from repro.core.models import TabularDataModel
+from repro.exceptions import ValidationError
+
+
+def two_record_model():
+    return TabularDataModel([(0, 0), (0, 1), (1, 1)], [0.5, 0.25, 0.25])
+
+
+class TestSecret:
+    def test_describe_default(self):
+        assert Secret(2, 1).describe() == "X_2 = 1"
+
+    def test_describe_label(self):
+        assert Secret(0, 1, label="Alice has flu").describe() == "Alice has flu"
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValidationError):
+            Secret(-1, 0)
+
+    def test_hashable_and_equal(self):
+        assert Secret(1, 2) == Secret(1, 2)
+        assert len({Secret(1, 2), Secret(1, 2), Secret(1, 3)}) == 2
+
+
+class TestSecretPair:
+    def test_rejects_identical_secrets(self):
+        with pytest.raises(ValidationError):
+            SecretPair(Secret(0, 1), Secret(0, 1))
+
+    def test_describe(self):
+        pair = SecretPair(Secret(0, 0), Secret(0, 1))
+        assert "X_0 = 0" in pair.describe()
+
+
+class TestEntrywiseSets:
+    def test_secret_count(self):
+        assert len(entrywise_secrets(3, 4)) == 12
+
+    def test_pair_count(self):
+        # n * C(k, 2) unordered pairs.
+        assert len(entrywise_pairs(3, 4)) == 3 * 6
+
+    def test_pairs_within_record(self):
+        for pair in entrywise_pairs(2, 2):
+            assert pair.left.index == pair.right.index
+            assert pair.left.value != pair.right.value
+
+
+class TestInstantiation:
+    def test_requires_pairs(self):
+        with pytest.raises(ValidationError):
+            PufferfishInstantiation([], [], [two_record_model()])
+
+    def test_requires_models(self):
+        pair = SecretPair(Secret(0, 0), Secret(0, 1))
+        with pytest.raises(ValidationError):
+            PufferfishInstantiation([], [pair], [])
+
+    def test_collects_secrets_from_pairs(self):
+        pair = SecretPair(Secret(0, 0), Secret(0, 1))
+        inst = PufferfishInstantiation([], [pair], [two_record_model()])
+        assert Secret(0, 0) in inst.secrets
+        assert Secret(0, 1) in inst.secrets
+
+    def test_admissible_pairs_drop_zero_probability(self):
+        model = TabularDataModel([(0, 0), (0, 1)], [0.5, 0.5])  # record 0 always 0
+        inst = entrywise_instantiation(2, 2, [model])
+        admissible = list(inst.admissible_pairs(model))
+        assert all(pair.left.index == 1 for pair in admissible)
+
+    def test_entrywise_instantiation_shape(self):
+        inst = entrywise_instantiation(2, 2, [two_record_model()])
+        assert len(inst.pairs) == 2
+        assert len(inst.models) == 1

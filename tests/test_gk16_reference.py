@@ -1,0 +1,110 @@
+"""Cross-validation of the vectorized GK16 influence matrix against a
+straightforward per-entry reference implementation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gk16 import chain_influence_matrix
+from repro.distributions.markov import MarkovChain
+
+
+def reference_conditional(transition, prev_state, next_state, initial):
+    """P(X_t | prev, next) by direct weighting (prev/next may be None)."""
+    k = transition.shape[0]
+    if prev_state is not None:
+        weights = transition[prev_state, :].copy()
+    elif initial is not None:
+        weights = initial.copy()
+    else:
+        weights = np.ones(k)
+    if next_state is not None:
+        weights = weights * transition[:, next_state]
+    total = weights.sum()
+    if total <= 0:
+        return None
+    return weights / total
+
+
+def reference_influence(transition, side, others, initial):
+    k = transition.shape[0]
+    worst = 0.0
+    for other in others:
+        laws = []
+        for value in range(k):
+            if side == "prev":
+                law = reference_conditional(transition, value, other, initial)
+            else:
+                law = reference_conditional(transition, other, value, initial)
+            if law is not None:
+                laws.append(law)
+        for a, b in itertools.combinations(laws, 2):
+            worst = max(worst, 0.5 * float(np.abs(a - b).sum()))
+    return worst
+
+
+def reference_matrix(chain, length, free_initial=False):
+    transition = chain.transition
+    k = chain.n_states
+    initial = None if free_initial else chain.initial
+    gamma = np.zeros((length, length))
+    for t in range(length):
+        has_prev, has_next = t > 0, t < length - 1
+        if has_prev:
+            others = list(range(k)) if has_next else [None]
+            gamma[t, t - 1] = reference_influence(transition, "prev", others, None)
+        if has_next:
+            others = list(range(k)) if has_prev else [None]
+            gamma[t, t + 1] = reference_influence(
+                transition, "next", others, initial if t == 0 else None
+            )
+    return gamma
+
+
+@st.composite
+def random_chains(draw, k_max=4):
+    k = draw(st.integers(min_value=2, max_value=k_max))
+    rows = []
+    for _ in range(k):
+        weights = [draw(st.integers(min_value=1, max_value=9)) for _ in range(k)]
+        rows.append(np.asarray(weights, dtype=float) / sum(weights))
+    initial = np.asarray(
+        [draw(st.integers(min_value=0, max_value=9)) for _ in range(k)], dtype=float
+    )
+    if initial.sum() == 0:
+        initial[0] = 1.0
+    return MarkovChain(initial / initial.sum(), np.vstack(rows))
+
+
+class TestVectorizedMatchesReference:
+    @settings(max_examples=40, deadline=None)
+    @given(random_chains(), st.integers(min_value=1, max_value=7))
+    def test_fixed_initial(self, chain, length):
+        fast = chain_influence_matrix(chain, length)
+        slow = reference_matrix(chain, length)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_chains(), st.integers(min_value=2, max_value=6))
+    def test_free_initial(self, chain, length):
+        fast = chain_influence_matrix(chain, length, free_initial=True)
+        slow = reference_matrix(chain, length, free_initial=True)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_sparse_transition_rows(self):
+        """Structural zeros produce impossible conditioning events, which
+        both implementations must skip rather than divide by zero."""
+        chain = MarkovChain([0.5, 0.5, 0.0], [[0.0, 1.0, 0.0], [0.5, 0.0, 0.5], [0.0, 1.0, 0.0]])
+        fast = chain_influence_matrix(chain, 5)
+        slow = reference_matrix(chain, 5)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+        assert np.all(np.isfinite(fast))
+
+    def test_degenerate_initial(self):
+        chain = MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+        fast = chain_influence_matrix(chain, 4)
+        slow = reference_matrix(chain, 4)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)

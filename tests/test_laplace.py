@@ -1,0 +1,99 @@
+"""Unit tests for Laplace primitives and the mechanism base class."""
+
+import numpy as np
+import pytest
+
+from repro.core.laplace import Mechanism, PrivateRelease, laplace_density, sample_laplace
+from repro.core.queries import RelativeFrequencyHistogram, StateFrequencyQuery
+from repro.exceptions import PrivacyParameterError
+
+
+class FixedScaleMechanism(Mechanism):
+    """Test double with a constant noise scale."""
+
+    name = "Fixed"
+
+    def __init__(self, epsilon, scale):
+        super().__init__(epsilon)
+        self._scale = scale
+
+    def noise_scale(self, query, data):
+        return self._scale
+
+
+class TestSampleLaplace:
+    def test_zero_scale_is_exact(self):
+        assert sample_laplace(0.0) == 0.0
+        np.testing.assert_array_equal(sample_laplace(0.0, 5), np.zeros(5))
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(PrivacyParameterError):
+            sample_laplace(-1.0)
+
+    def test_mean_absolute_value_matches_scale(self):
+        samples = sample_laplace(2.0, 200_000, rng=0)
+        assert np.abs(samples).mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(sample_laplace(1.0, 4, rng=9), sample_laplace(1.0, 4, rng=9))
+
+
+class TestLaplaceDensity:
+    def test_peak_at_center(self):
+        assert laplace_density(3.0, 3.0, 2.0) == pytest.approx(1.0 / 4.0)
+
+    def test_symmetry(self):
+        assert laplace_density(1.0, 0.0, 1.0) == pytest.approx(laplace_density(-1.0, 0.0, 1.0))
+
+    def test_integrates_to_one(self):
+        xs = np.linspace(-40, 40, 200_001)
+        density = laplace_density(xs, 0.0, 1.5)
+        assert np.trapezoid(density, xs) == pytest.approx(1.0, abs=1e-4)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace_density(0.0, 0.0, 0.0)
+
+
+class TestMechanismBase:
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(PrivacyParameterError):
+            FixedScaleMechanism(0.0, 1.0)
+
+    def test_scalar_release(self):
+        mech = FixedScaleMechanism(1.0, 0.5)
+        data = np.array([1, 0, 1, 1])
+        release = mech.release(data, StateFrequencyQuery(1, 4), rng=0)
+        assert isinstance(release.value, float)
+        assert release.true_value == pytest.approx(0.75)
+        assert release.noise_scale == 0.5
+        assert release.mechanism == "Fixed"
+
+    def test_vector_release_shape(self):
+        mech = FixedScaleMechanism(1.0, 0.1)
+        data = np.array([0, 1, 2, 2])
+        release = mech.release(data, RelativeFrequencyHistogram(3, 4), rng=0)
+        assert np.asarray(release.value).shape == (3,)
+
+    def test_zero_scale_release_is_exact(self):
+        mech = FixedScaleMechanism(1.0, 0.0)
+        data = np.array([1, 1, 0, 0])
+        release = mech.release(data, StateFrequencyQuery(1, 4), rng=0)
+        assert release.value == release.true_value
+
+    def test_release_determinism(self):
+        mech = FixedScaleMechanism(1.0, 1.0)
+        data = np.array([1, 0])
+        a = mech.release(data, StateFrequencyQuery(1, 2), rng=42)
+        b = mech.release(data, StateFrequencyQuery(1, 2), rng=42)
+        assert a.value == b.value
+
+
+class TestPrivateRelease:
+    def test_l1_error_scalar(self):
+        release = PrivateRelease(1.5, 1.0, 0.1, 1.0, "m")
+        assert release.l1_error() == pytest.approx(0.5)
+
+    def test_l1_error_vector(self):
+        release = PrivateRelease(np.array([1.0, 2.0]), np.array([0.0, 0.0]), 0.1, 1.0, "m")
+        assert release.l1_error() == pytest.approx(3.0)

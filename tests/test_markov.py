@@ -1,0 +1,211 @@
+"""Unit tests for the MarkovChain substrate."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def running_theta1():
+    """theta_1 of the Section 4.4 running example."""
+    return MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+
+
+@pytest.fixture
+def running_theta2():
+    """theta_2 of the Section 4.4 running example."""
+    return MarkovChain([0.9, 0.1], [[0.8, 0.2], [0.3, 0.7]])
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            MarkovChain([1.0], [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValidationError):
+            MarkovChain([0.5, 0.5], np.eye(2), state_labels=["only-one"])
+
+    def test_with_initial(self, running_theta1):
+        other = running_theta1.with_initial([0.5, 0.5])
+        np.testing.assert_allclose(other.initial, [0.5, 0.5])
+        np.testing.assert_allclose(other.transition, running_theta1.transition)
+
+
+class TestPowersAndMarginals:
+    def test_power_zero_is_identity(self, running_theta1):
+        np.testing.assert_allclose(running_theta1.power(0), np.eye(2))
+
+    def test_power_consistency(self, running_theta1):
+        p = running_theta1.transition
+        np.testing.assert_allclose(running_theta1.power(3), p @ p @ p)
+
+    def test_powers_row_stochastic(self, running_theta2):
+        for n in range(1, 12):
+            np.testing.assert_allclose(running_theta2.power(n).sum(axis=1), [1.0, 1.0])
+
+    def test_marginal_zero_is_initial(self, running_theta1):
+        np.testing.assert_allclose(running_theta1.marginal(0), running_theta1.initial)
+
+    def test_marginal_recursion(self, running_theta2):
+        expected = running_theta2.initial @ running_theta2.power(5)
+        np.testing.assert_allclose(running_theta2.marginal(5), expected)
+
+    def test_negative_indices_rejected(self, running_theta1):
+        with pytest.raises(ValidationError):
+            running_theta1.power(-1)
+        with pytest.raises(ValidationError):
+            running_theta1.marginal(-2)
+
+
+class TestStationary:
+    def test_running_example_stationaries(self, running_theta1, running_theta2):
+        """The paper states pi(theta1) = [0.8, 0.2] and pi(theta2) = [0.6, 0.4]."""
+        np.testing.assert_allclose(running_theta1.stationary(), [0.8, 0.2], atol=1e-9)
+        np.testing.assert_allclose(running_theta2.stationary(), [0.6, 0.4], atol=1e-9)
+
+    def test_fixed_point(self, running_theta2):
+        pi = running_theta2.stationary()
+        np.testing.assert_allclose(pi @ running_theta2.transition, pi, atol=1e-10)
+
+    def test_pi_min_running_example(self, running_theta1, running_theta2):
+        assert running_theta1.pi_min() == pytest.approx(0.2, abs=1e-9)
+        assert running_theta2.pi_min() == pytest.approx(0.4, abs=1e-9)
+
+    def test_with_stationary_initial(self, running_theta1):
+        chain = running_theta1.with_stationary_initial()
+        np.testing.assert_allclose(chain.marginal(7), chain.initial, atol=1e-10)
+
+
+class TestTimeReversal:
+    def test_two_state_chains_self_reversal(self, running_theta1):
+        """Every two-state chain is reversible, so P* == P."""
+        np.testing.assert_allclose(
+            running_theta1.time_reversal().transition, running_theta1.transition, atol=1e-9
+        )
+
+    def test_reversal_preserves_stationary(self):
+        chain = MarkovChain(
+            [1 / 3, 1 / 3, 1 / 3],
+            [[0.1, 0.6, 0.3], [0.2, 0.3, 0.5], [0.5, 0.2, 0.3]],
+        )
+        reversed_chain = chain.time_reversal()
+        np.testing.assert_allclose(
+            reversed_chain.stationary(), chain.stationary(), atol=1e-8
+        )
+
+    def test_double_reversal_is_identity(self):
+        chain = MarkovChain(
+            [0.3, 0.3, 0.4],
+            [[0.2, 0.5, 0.3], [0.4, 0.1, 0.5], [0.3, 0.3, 0.4]],
+        )
+        twice = chain.time_reversal().time_reversal()
+        np.testing.assert_allclose(twice.transition, chain.transition, atol=1e-8)
+
+
+class TestStructure:
+    def test_reversibility_detection(self, running_theta1):
+        assert running_theta1.is_reversible()
+
+    def test_non_reversible_three_cycle(self):
+        cycle = MarkovChain(
+            [1 / 3, 1 / 3, 1 / 3],
+            [[0.1, 0.8, 0.1], [0.1, 0.1, 0.8], [0.8, 0.1, 0.1]],
+        )
+        assert not cycle.is_reversible()
+
+    def test_irreducibility(self, running_theta1):
+        assert running_theta1.is_irreducible()
+        reducible = MarkovChain([0.5, 0.5], [[1.0, 0.0], [0.0, 1.0]])
+        assert not reducible.is_irreducible()
+
+    def test_aperiodicity(self, running_theta1):
+        assert running_theta1.is_aperiodic()
+        periodic = MarkovChain([0.5, 0.5], [[0.0, 1.0], [1.0, 0.0]])
+        assert not periodic.is_aperiodic()
+
+
+class TestEigengap:
+    def test_running_example_general_gap(self, running_theta1, running_theta2):
+        """The paper computes g = 0.75 for both chains via P P*."""
+        assert running_theta1.eigengap(reversible=False) == pytest.approx(0.75, abs=1e-9)
+        assert running_theta2.eigengap(reversible=False) == pytest.approx(0.75, abs=1e-9)
+
+    def test_reversible_gap_two_state(self, running_theta1):
+        """lambda_2 = p0 + p1 - 1 = 0.5 so the reversible gap is 2*(1-0.5)=1."""
+        assert running_theta1.eigengap(reversible=True) == pytest.approx(1.0, abs=1e-9)
+
+    def test_gap_zero_for_reducible(self):
+        reducible = MarkovChain([0.5, 0.5], [[1.0, 0.0], [0.0, 1.0]])
+        assert reducible.eigengap() == 0.0
+
+    def test_gap_zero_for_periodic(self):
+        periodic = MarkovChain([0.5, 0.5], [[0.0, 1.0], [1.0, 0.0]])
+        assert periodic.eigengap() == 0.0
+
+    def test_mixing_scale_finite_for_mixing_chain(self, running_theta2):
+        assert np.isfinite(running_theta2.mixing_scale())
+
+
+class TestSampling:
+    def test_length_and_range(self, running_theta2):
+        path = running_theta2.sample(500, rng=3)
+        assert path.size == 500
+        assert set(np.unique(path)) <= {0, 1}
+
+    def test_deterministic_under_seed(self, running_theta2):
+        a = running_theta2.sample(50, rng=11)
+        b = running_theta2.sample(50, rng=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_length(self, running_theta2):
+        assert running_theta2.sample(0, rng=1).size == 0
+
+    def test_degenerate_initial_fixes_first_state(self, running_theta1):
+        path = running_theta1.sample(10, rng=5)
+        assert path[0] == 0
+
+    def test_empirical_frequencies_approach_stationary(self, running_theta2):
+        chain = running_theta2.with_stationary_initial()
+        path = chain.sample(60_000, rng=0)
+        freq = np.bincount(path, minlength=2) / path.size
+        np.testing.assert_allclose(freq, chain.stationary(), atol=0.02)
+
+    def test_sample_segments(self, running_theta2):
+        segments = running_theta2.sample_segments([5, 10, 1], rng=2)
+        assert [s.size for s in segments] == [5, 10, 1]
+
+
+class TestEstimation:
+    def test_recovers_transition_matrix(self, running_theta2):
+        chain = running_theta2.with_stationary_initial()
+        segments = chain.sample_segments([30_000, 30_000], rng=4)
+        estimated = MarkovChain.from_segments(segments, 2)
+        np.testing.assert_allclose(estimated.transition, chain.transition, atol=0.02)
+
+    def test_smoothing_fills_zeros(self):
+        segments = [np.zeros(100, dtype=np.int64)]  # never leaves state 0
+        estimated = MarkovChain.from_segments(segments, 2, smoothing=0.5)
+        assert estimated.transition.min() > 0
+
+    def test_empirical_initial(self):
+        segments = [np.array([1, 0, 0]), np.array([1, 1])]
+        estimated = MarkovChain.from_segments(
+            segments, 2, smoothing=1.0, initial="empirical"
+        )
+        np.testing.assert_allclose(estimated.initial, [0.0, 1.0])
+
+    def test_uniform_initial(self):
+        segments = [np.array([0, 1, 0])]
+        estimated = MarkovChain.from_segments(segments, 2, smoothing=1.0, initial="uniform")
+        np.testing.assert_allclose(estimated.initial, [0.5, 0.5])
+
+    def test_rejects_bad_initial_mode(self):
+        with pytest.raises(ValidationError):
+            MarkovChain.from_segments([np.array([0])], 2, initial="bogus")
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValidationError):
+            MarkovChain.from_segments([np.array([0])], 2, smoothing=-1.0)

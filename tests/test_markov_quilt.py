@@ -1,0 +1,126 @@
+"""Unit tests for the general Markov Quilt Mechanism (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
+from repro.core.mqm_chain import chain_max_influence
+from repro.core.queries import StateFrequencyQuery
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+INITIAL = np.array([0.8, 0.2])
+TRANSITION = np.array([[0.9, 0.1], [0.4, 0.6]])
+
+
+@pytest.fixture
+def chain_net():
+    return DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 5)
+
+
+@pytest.fixture
+def markov_chain():
+    return MarkovChain(INITIAL, TRANSITION)
+
+
+class TestMaxInfluence:
+    def test_trivial_quilt_is_zero(self, chain_net):
+        assert max_influence([chain_net], chain_net.trivial_quilt("X3")) == 0.0
+
+    def test_matches_chain_formula_two_sided(self, chain_net, markov_chain):
+        """Enumeration (Definition 4.1) must agree with Eq. (5)."""
+        quilt = chain_net.quilt_from_set("X3", {"X2", "X4"})
+        by_enumeration = max_influence([chain_net], quilt)
+        by_formula = chain_max_influence(markov_chain, 2, 1, 1)
+        assert by_enumeration == pytest.approx(by_formula, abs=1e-10)
+
+    def test_matches_chain_formula_one_sided(self, chain_net, markov_chain):
+        quilt = chain_net.quilt_from_set("X3", {"X1"})
+        by_enumeration = max_influence([chain_net], quilt)
+        by_formula = chain_max_influence(markov_chain, 2, 2, None)
+        assert by_enumeration == pytest.approx(by_formula, abs=1e-10)
+
+    def test_influence_shrinks_with_distance(self, chain_net):
+        near = chain_net.quilt_from_set("X3", {"X2", "X4"})
+        far = chain_net.quilt_from_set("X3", {"X1", "X5"})
+        assert max_influence([chain_net], far) < max_influence([chain_net], near)
+
+    def test_supremum_over_thetas(self, chain_net):
+        slow = DiscreteBayesianNetwork.chain(
+            INITIAL, np.array([[0.99, 0.01], [0.04, 0.96]]), 5
+        )
+        quilt = chain_net.quilt_from_set("X3", {"X2", "X4"})
+        single = max_influence([chain_net], quilt)
+        both = max_influence([chain_net, slow], quilt)
+        assert both >= single
+
+    def test_independent_nodes_have_zero_influence(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[0.5, 0.5])
+        net.add_node("B", 2, cpd=[0.3, 0.7])
+        quilt = net.quilt_from_set("A", set())
+        # B is remote with an empty quilt: influence must be 0.
+        assert quilt is not None
+        assert max_influence([net], quilt) == 0.0
+
+
+class TestMechanism:
+    def test_sigma_bounded_by_trivial(self, chain_net):
+        mech = MarkovQuiltMechanism([chain_net], epsilon=1.0)
+        assert mech.sigma_max() <= 5.0 / 1.0 + 1e-9
+
+    def test_matches_mqm_exact_on_chain(self, chain_net, markov_chain):
+        """Algorithm 2 with symmetric distance quilts can only do worse (or
+        equal) than Algorithm 3's richer asymmetric quilt set."""
+        from repro.core.mqm_chain import MQMExact
+        from repro.distributions.chain_family import FiniteChainFamily
+
+        eps = 2.0
+        general = MarkovQuiltMechanism([chain_net], epsilon=eps)
+        exact = MQMExact(FiniteChainFamily([markov_chain]), eps, max_window=5)
+        assert exact.sigma_max(5) <= general.sigma_max() + 1e-9
+
+    def test_high_epsilon_prefers_tight_quilts(self, chain_net):
+        mech = MarkovQuiltMechanism([chain_net], epsilon=10.0)
+        sigma, quilt = mech.sigma_for_node("X3")
+        assert not quilt.is_trivial
+        assert sigma < 5.0 / 10.0
+
+    def test_low_epsilon_falls_back_to_trivial(self, chain_net):
+        mech = MarkovQuiltMechanism([chain_net], epsilon=0.01)
+        _, quilt = mech.sigma_for_node("X3")
+        assert quilt.is_trivial
+
+    def test_noise_scale_uses_lipschitz(self, chain_net):
+        mech = MarkovQuiltMechanism([chain_net], epsilon=1.0)
+        query = StateFrequencyQuery(1, 5)
+        scale = mech.noise_scale(query, np.zeros(5, dtype=int))
+        assert scale == pytest.approx(query.lipschitz * mech.sigma_max())
+
+    def test_quilt_signature_stable(self, chain_net):
+        a = MarkovQuiltMechanism([chain_net], epsilon=1.0)
+        b = MarkovQuiltMechanism([chain_net], epsilon=1.0)
+        assert a.quilt_signature() == b.quilt_signature()
+
+    def test_custom_quilt_sets_get_trivial_added(self, chain_net):
+        mech = MarkovQuiltMechanism(
+            [chain_net],
+            epsilon=0.5,
+            quilt_sets={"X1": [chain_net.quilt_from_set("X1", {"X2"})]},
+        )
+        sigma, _ = mech.sigma_for_node("X1")
+        assert np.isfinite(sigma)
+
+    def test_mismatched_networks_rejected(self, chain_net):
+        other = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 4)
+        with pytest.raises(ValidationError):
+            MarkovQuiltMechanism([chain_net, other], epsilon=1.0)
+
+    def test_release_details(self, chain_net):
+        mech = MarkovQuiltMechanism([chain_net], epsilon=1.0)
+        release = mech.release(
+            np.array([0, 1, 0, 0, 1]), StateFrequencyQuery(1, 5), rng=0
+        )
+        assert "sigma_max" in release.details
+        assert release.details["worst_node"] in chain_net.nodes

@@ -1,0 +1,153 @@
+"""Unit tests for enumerable data models."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Secret
+from repro.core.models import FluCliqueModel, MarkovChainModel, TabularDataModel
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import EnumerationError, ValidationError
+
+
+class TestTabularDataModel:
+    def test_support_normalizes(self):
+        model = TabularDataModel([(0,), (1,)], [0.25, 0.75])
+        total = sum(p for _, p in model.support())
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_secret_probability(self):
+        model = TabularDataModel([(0, 0), (0, 1), (1, 1)], [0.5, 0.25, 0.25])
+        assert model.secret_probability(Secret(0, 0)) == pytest.approx(0.75)
+        assert model.secret_probability(Secret(1, 1)) == pytest.approx(0.5)
+
+    def test_secret_probability_checks_index(self):
+        model = TabularDataModel([(0,)], [1.0])
+        with pytest.raises(ValidationError):
+            model.secret_probability(Secret(3, 0))
+
+    def test_conditioning(self):
+        model = TabularDataModel([(0, 0), (0, 1), (1, 1)], [0.5, 0.25, 0.25])
+        conditioned = model.conditioned_on(Secret(1, 1))
+        rows = dict(conditioned.support())
+        np.testing.assert_allclose(rows[(0, 1)], 0.5)
+        np.testing.assert_allclose(rows[(1, 1)], 0.5)
+
+    def test_conditioning_zero_probability(self):
+        model = TabularDataModel([(0,)], [1.0])
+        with pytest.raises(ValidationError):
+            model.conditioned_on(Secret(0, 1))
+
+    def test_rejects_duplicate_rows(self):
+        with pytest.raises(ValidationError):
+            TabularDataModel([(0,), (0,)], [0.5, 0.5])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            TabularDataModel([(0,), (0, 1)], [0.5, 0.5])
+
+    def test_output_distribution(self):
+        model = TabularDataModel([(0, 0), (1, 1)], [0.5, 0.5])
+        dist = model.output_distribution(lambda row: float(row.sum()))
+        np.testing.assert_allclose(dist.atoms, [0.0, 2.0])
+
+    def test_from_bayesnet(self):
+        net = DiscreteBayesianNetwork.chain(
+            np.array([0.8, 0.2]), np.array([[0.9, 0.1], [0.4, 0.6]]), 3
+        )
+        model = TabularDataModel.from_bayesnet(net)
+        assert model.n_records == 3
+        total = sum(p for _, p in model.support())
+        np.testing.assert_allclose(total, 1.0)
+
+
+class TestMarkovChainModel:
+    @pytest.fixture
+    def chain(self):
+        return MarkovChain([0.8, 0.2], [[0.9, 0.1], [0.4, 0.6]])
+
+    def test_support_sums_to_one(self, chain):
+        model = MarkovChainModel(chain, 4)
+        total = sum(p for _, p in model.support())
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_secret_probability_matches_marginal(self, chain):
+        model = MarkovChainModel(chain, 4)
+        for t in range(4):
+            for v in range(2):
+                assert model.secret_probability(Secret(t, v)) == pytest.approx(
+                    chain.marginal(t)[v]
+                )
+
+    def test_trajectory_probability(self, chain):
+        model = MarkovChainModel(chain, 3)
+        rows = dict(model.support())
+        np.testing.assert_allclose(rows[(0, 0, 1)], 0.8 * 0.9 * 0.1)
+
+    def test_zero_probability_trajectories_excluded(self):
+        chain = MarkovChain([1.0, 0.0], [[1.0, 0.0], [0.5, 0.5]])
+        model = MarkovChainModel(chain, 3)
+        rows = dict(model.support())
+        assert rows == {(0, 0, 0): pytest.approx(1.0)}
+
+    def test_enumeration_guard(self, chain):
+        with pytest.raises(EnumerationError):
+            MarkovChainModel(chain, 64)
+
+    def test_to_tabular_consistency(self, chain):
+        model = MarkovChainModel(chain, 3)
+        tab = model.to_tabular()
+        assert tab.secret_probability(Secret(2, 1)) == pytest.approx(
+            model.secret_probability(Secret(2, 1))
+        )
+
+
+class TestFluCliqueModel:
+    @pytest.fixture
+    def paper_model(self):
+        """The Section 3.1 example: one clique of 4, symmetric count law."""
+        return FluCliqueModel([4], [[0.1, 0.15, 0.5, 0.15, 0.1]])
+
+    def test_conditional_tables_match_paper(self, paper_model):
+        given0 = paper_model.conditional_count_distribution(Secret(0, 0))
+        given1 = paper_model.conditional_count_distribution(Secret(0, 1))
+        np.testing.assert_allclose(given0.probs_on(range(5)), [0.2, 0.225, 0.5, 0.075, 0.0])
+        np.testing.assert_allclose(given1.probs_on(range(5)), [0.0, 0.075, 0.5, 0.225, 0.2])
+
+    def test_support_consistent_with_count_distribution(self, paper_model):
+        counts = {}
+        for row, prob in paper_model.support():
+            counts[sum(row)] = counts.get(sum(row), 0.0) + prob
+        for j, expected in enumerate([0.1, 0.15, 0.5, 0.15, 0.1]):
+            np.testing.assert_allclose(counts.get(j, 0.0), expected, atol=1e-12)
+
+    def test_secret_probability_by_symmetry(self, paper_model):
+        # E[N]/4 = (0.15 + 2*0.5 + 3*0.15 + 4*0.1)/4 = 0.5 by symmetry.
+        assert paper_model.secret_probability(Secret(0, 1)) == pytest.approx(0.5)
+
+    def test_exponential_cliques_of_section_2_2(self):
+        model = FluCliqueModel.exponential_cliques([3], rate=2.0)
+        weights = np.exp(2.0 * np.arange(4))
+        np.testing.assert_allclose(model.count_distributions[0], weights / weights.sum())
+
+    def test_multi_clique_independence(self):
+        model = FluCliqueModel([2, 2], [[0.5, 0.0, 0.5], [0.25, 0.5, 0.25]])
+        rows = dict(model.support())
+        total = sum(rows.values())
+        np.testing.assert_allclose(total, 1.0)
+        # Clique 1 never has exactly one infected.
+        assert all(sum(row[:2]) != 1 for row in rows)
+
+    def test_total_count_distribution(self):
+        model = FluCliqueModel([2, 1], [[0.25, 0.5, 0.25], [0.5, 0.5]])
+        total = model.total_count_distribution()
+        np.testing.assert_allclose(total.mean(), 1.0 + 0.5)
+
+    def test_clique_size_validation(self):
+        with pytest.raises(ValidationError):
+            FluCliqueModel([2], [[0.5, 0.5]])  # needs 3 entries
+
+    def test_index_out_of_range(self):
+        model = FluCliqueModel([2], [[0.25, 0.5, 0.25]])
+        with pytest.raises(ValidationError):
+            model.secret_probability(Secret(5, 1))

@@ -1,0 +1,160 @@
+"""Unit tests for MQMApprox (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import StateFrequencyQuery
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import NotApplicableError
+
+STATIONARY = MarkovChain([0.6, 0.4], [[0.8, 0.2], [0.3, 0.7]])
+
+
+class TestApplicability:
+    def test_rejects_periodic_chain(self):
+        periodic = MarkovChain([0.5, 0.5], [[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(NotApplicableError):
+            MQMApprox(FiniteChainFamily([periodic]), 1.0)
+
+    def test_rejects_reducible_chain(self):
+        reducible = MarkovChain([0.5, 0.5], [[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(NotApplicableError):
+            MQMApprox(FiniteChainFamily([reducible]), 1.0)
+
+    def test_accepts_mixing_chain(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        assert mech.pi_min == pytest.approx(0.4)
+
+
+class TestInfluenceBounds:
+    def test_running_example_parameters(self):
+        """pi_min = 0.2 and g(PP*) = 0.75 for the running-example family."""
+        theta1 = MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+        theta2 = MarkovChain([0.9, 0.1], [[0.8, 0.2], [0.3, 0.7]])
+        family = FiniteChainFamily([theta1, theta2])
+        mech = MQMApprox(family, 1.0, reversible=False)
+        assert mech.pi_min == pytest.approx(0.2, abs=1e-9)
+        assert mech.gap == pytest.approx(0.75, abs=1e-9)
+
+    def test_lemma_4_8_formula(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        a, b = 30, 40
+        delta_a = np.exp(-a * mech.gap / 2) / mech.pi_min
+        delta_b = np.exp(-b * mech.gap / 2) / mech.pi_min
+        expected = np.log((1 + delta_b) / (1 - delta_b)) + 2 * np.log(
+            (1 + delta_a) / (1 - delta_a)
+        )
+        assert mech.two_sided_influence(a, b) == pytest.approx(expected)
+
+    def test_small_extents_are_unusable(self):
+        """Below the 2 log(1/pi)/g threshold the bound is infinite."""
+        mech = MQMApprox(STATIONARY, 1.0)
+        assert mech.right_influence(1) == np.inf
+
+    def test_bound_decreasing_in_extent(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        values = np.asarray(mech.right_influence(np.array([10, 20, 40, 80])))
+        finite = values[np.isfinite(values)]
+        assert all(a > b for a, b in zip(finite, finite[1:]))
+
+    def test_left_is_twice_right(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        assert mech.left_influence(25) == pytest.approx(2 * mech.right_influence(25))
+
+
+class TestSoundness:
+    """The approximation must always dominate the exact influence/noise."""
+
+    @pytest.mark.parametrize("p0,p1", [(0.8, 0.7), (0.6, 0.6), (0.9, 0.5)])
+    def test_bound_dominates_exact_influence(self, p0, p1):
+        from repro.core.mqm_chain import chain_max_influence
+
+        chain = MarkovChain([0.5, 0.5], [[p0, 1 - p0], [1 - p1, p1]]).with_stationary_initial()
+        mech = MQMApprox(chain, 1.0)
+        for a, b in [(20, 20), (30, 50), (60, 40)]:
+            bound = mech.two_sided_influence(a, b)
+            exact = chain_max_influence(chain, 80, a, b)
+            assert bound >= exact - 1e-9
+
+    @pytest.mark.parametrize("eps", [0.2, 1.0, 5.0])
+    def test_sigma_dominates_exact(self, eps):
+        chain = STATIONARY.with_stationary_initial()
+        family = FiniteChainFamily([chain])
+        T = 400
+        approx = MQMApprox(family, eps).sigma_max(T)
+        exact = MQMExact(family, eps, max_window=min(T, 120)).sigma_max(T)
+        assert approx >= exact - 1e-9
+
+
+class TestFastPath:
+    def test_matches_full_search_on_long_chain(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        astar = mech.a_star()
+        T = 8 * astar + 10
+        fast = mech._sigma_middle(T, astar)
+        full = mech._sigma_full(T, astar)
+        assert fast == pytest.approx(full, rel=1e-9)
+
+    def test_sigma_independent_of_length_when_long(self):
+        """Theorem 4.10: noise does not grow with T for long chains."""
+        mech = MQMApprox(STATIONARY, 1.0)
+        astar = mech.a_star()
+        long1 = mech.sigma_max(10 * astar)
+        long2 = mech.sigma_max(1_000_000)
+        assert long1 == pytest.approx(long2, rel=1e-9)
+
+    def test_theorem_4_10_constant(self):
+        """sigma <= C/eps with C = 8 * ceil(log((e^{eps/6}+1)/(e^{eps/6}-1)/pi)/g)."""
+        for eps in (0.2, 1.0, 5.0):
+            mech = MQMApprox(STATIONARY, eps)
+            T = 8 * mech.a_star() + 3
+            constant = 4 * mech.a_star()  # = C/2; sigma <= (4a*-2)/(eps/2) <= 8a*/eps
+            assert mech.sigma_max(T) <= 2 * constant / eps
+
+    def test_short_chain_uses_trivial_or_better(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        assert mech.sigma_max(5) <= 5.0
+
+
+class TestOptimalQuiltExtent:
+    def test_long_chain_extent_bounded(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        extent = mech.optimal_quilt_extent(100_000)
+        assert extent is not None
+        assert 2 <= extent <= 4 * mech.a_star()
+
+    def test_tiny_chain_returns_none(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        assert mech.optimal_quilt_extent(1) is None
+
+
+class TestIntervalFamily:
+    def test_closed_form_family_parameters(self):
+        family = IntervalChainFamily(0.25)
+        mech = MQMApprox(family, 1.0)
+        assert mech.pi_min == pytest.approx(0.25)
+        assert mech.gap == pytest.approx(1.0)
+
+    def test_narrow_family_less_noise(self):
+        wide = MQMApprox(IntervalChainFamily(0.15), 1.0).sigma_max(100)
+        narrow = MQMApprox(IntervalChainFamily(0.4), 1.0).sigma_max(100)
+        assert narrow <= wide
+
+    def test_epsilon_monotonicity(self):
+        family = IntervalChainFamily(0.3)
+        scales = []
+        for eps in (0.2, 1.0, 5.0):
+            mech = MQMApprox(family, eps)
+            query = StateFrequencyQuery(1, 100)
+            scales.append(mech.noise_scale(query, np.zeros(100, dtype=int)))
+        assert scales[0] > scales[1] > scales[2]
+
+
+class TestScaleDetails:
+    def test_details_fields(self):
+        mech = MQMApprox(STATIONARY, 1.0)
+        query = StateFrequencyQuery(1, 50)
+        details = mech.scale_details(query, np.zeros(50, dtype=int))
+        assert set(details) == {"sigma_max", "pi_min", "eigengap", "a_star"}

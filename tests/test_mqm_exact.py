@@ -1,0 +1,210 @@
+"""Unit tests for MQMExact (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mqm_chain import MQMExact, chain_max_influence, sigma_max_from_iid_tables
+from repro.core.queries import RelativeFrequencyHistogram, StateFrequencyQuery
+from repro.data.datasets import TimeSeriesDataset
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+THETA1 = MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+THETA2 = MarkovChain([0.9, 0.1], [[0.8, 0.2], [0.3, 0.7]])
+
+
+class TestChainMaxInfluence:
+    def test_trivial_is_zero(self):
+        assert chain_max_influence(THETA2, 5, None, None) == 0.0
+
+    def test_section_4_3_values(self):
+        """T=3 example: influences 0, log 6, log 6, log 36 for the middle node."""
+        chain = MarkovChain([0.8, 0.2], [[0.9, 0.1], [0.4, 0.6]])
+        assert chain_max_influence(chain, 1, 1, None) == pytest.approx(np.log(6))
+        assert chain_max_influence(chain, 1, None, 1) == pytest.approx(np.log(6))
+        assert chain_max_influence(chain, 1, 1, 1) == pytest.approx(np.log(36))
+
+    def test_two_sided_decomposes(self):
+        """For a stationary chain e(a,b) <= e_left(a) + e_right(b), with
+        equality when the same (x, x') attains all maxima."""
+        chain = THETA2.with_stationary_initial()
+        e_two = chain_max_influence(chain, 10, 3, 4)
+        e_l = chain_max_influence(chain, 10, 3, None)
+        e_r = chain_max_influence(chain, 10, None, 4)
+        assert e_two <= e_l + e_r + 1e-10
+
+    def test_decays_with_distance(self):
+        chain = THETA2.with_stationary_initial()
+        values = [chain_max_influence(chain, 20, d, d) for d in (1, 3, 6, 12)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_stationary_index_independence(self):
+        chain = THETA2.with_stationary_initial()
+        assert chain_max_influence(chain, 10, 2, 3) == pytest.approx(
+            chain_max_influence(chain, 25, 2, 3), abs=1e-10
+        )
+
+    def test_invalid_left_endpoint(self):
+        with pytest.raises(ValidationError):
+            chain_max_influence(THETA2, 2, 5, None)
+
+    def test_free_initial_dominates_fixed(self):
+        """The C.4 supremum over initials upper-bounds any fixed initial."""
+        for a, b in [(1, 1), (2, 3), (4, 2)]:
+            fixed = chain_max_influence(THETA2, 6, a, b)
+            free = chain_max_influence(THETA2, 6, a, b, free_initial=True)
+            assert free >= fixed - 1e-10
+
+    def test_degenerate_initial_support_restriction(self):
+        """theta1 starts at state 0 a.s.; restricting u to the support can
+        only lower the influence (Definition 4.1 vs literal Eq. 5)."""
+        strict = chain_max_influence(THETA1, 7, 7, 5, restrict_support=True)
+        loose = chain_max_influence(THETA1, 7, 7, 5, restrict_support=False)
+        assert strict <= loose
+
+
+class TestRunningExample:
+    """Section 4.4 running example, T=100, epsilon=1."""
+
+    def test_theta1_paper_sigma(self):
+        mech = MQMExact(
+            FiniteChainFamily([THETA1]), 1.0, max_window=100, restrict_support=False
+        )
+        assert mech.sigma_max(100) == pytest.approx(13.0219, abs=2e-4)
+
+    def test_theta2_paper_sigma(self):
+        mech = MQMExact(FiniteChainFamily([THETA2]), 1.0, max_window=100)
+        assert mech.sigma_max(100) == pytest.approx(10.6402, abs=2e-4)
+
+    def test_family_takes_max_over_thetas(self):
+        mech = MQMExact(
+            FiniteChainFamily([THETA1, THETA2]), 1.0, max_window=100, restrict_support=False
+        )
+        assert mech.sigma_max(100) == pytest.approx(13.0219, abs=2e-4)
+
+    def test_paper_quilt_score_for_x8(self):
+        """The active quilt {X3, X13} for X8 under theta1 scores 13.0219."""
+        influence = chain_max_influence(THETA1, 7, 5, 5)
+        score = (5 + 5 - 1) / (1.0 - influence)
+        assert score == pytest.approx(13.0219, abs=2e-4)
+
+
+class TestStationaryPath:
+    def test_matches_per_node_search(self):
+        """The stationary fast path must agree with brute-force per-node."""
+        chain = THETA2.with_stationary_initial()
+        eps = 1.0
+        fast = MQMExact(FiniteChainFamily([chain]), eps, max_window=30).sigma_max(60)
+        # Brute force: per-node min over all quilt kinds.
+        T, window = 60, 30
+        best_per_node = []
+        for t in range(T):
+            options = [T / eps]
+            for a in range(1, min(t, window) + 1):
+                e = chain_max_influence(chain, t, a, None)
+                if e < eps:
+                    options.append((T - 1 - t + a) / (eps - e))
+                for b in range(1, min(T - 1 - t, window) + 1):
+                    e2 = chain_max_influence(chain, t, a, b)
+                    if e2 < eps:
+                        options.append((a + b - 1) / (eps - e2))
+            for b in range(1, min(T - 1 - t, window) + 1):
+                e = chain_max_influence(chain, t, None, b)
+                if e < eps:
+                    options.append((t + b) / (eps - e))
+            best_per_node.append(min(options))
+        assert fast == pytest.approx(max(best_per_node), rel=1e-9)
+
+    def test_sigma_grows_then_saturates_in_length(self):
+        chain = THETA2.with_stationary_initial()
+        mech = MQMExact(FiniteChainFamily([chain]), 1.0, max_window=40)
+        sigmas = [mech.sigma_max(T) for T in (3, 10, 50, 200, 1000)]
+        assert all(s1 <= s2 + 1e-9 for s1, s2 in zip(sigmas, sigmas[1:]))
+        assert sigmas[-1] == pytest.approx(sigmas[-2], rel=1e-6)
+
+    def test_long_chain_is_cheap(self):
+        chain = THETA2.with_stationary_initial()
+        mech = MQMExact(FiniteChainFamily([chain]), 1.0, max_window=40)
+        sigma = mech.sigma_max(1_000_000)
+        assert np.isfinite(sigma)
+        assert sigma < 100
+
+
+class TestMultiSegment:
+    def test_sigma_uses_longest_relevant_segment(self):
+        chain = THETA2.with_stationary_initial()
+        mech = MQMExact(FiniteChainFamily([chain]), 1.0, max_window=30)
+        assert mech.sigma_max([5, 50]) == pytest.approx(max(
+            mech.sigma_max(5), mech.sigma_max(50)
+        ))
+
+    def test_noise_scale_from_dataset(self):
+        chain = THETA2.with_stationary_initial()
+        data = TimeSeriesDataset(
+            [chain.sample(40, rng=0), chain.sample(25, rng=1)], 2
+        )
+        mech = MQMExact(FiniteChainFamily([chain]), 1.0, max_window=20)
+        query = RelativeFrequencyHistogram(2, data.n_observations)
+        scale = mech.noise_scale(query, data)
+        assert scale == pytest.approx(query.lipschitz * mech.sigma_max([40, 25]))
+
+    def test_rejects_zero_lengths(self):
+        mech = MQMExact(FiniteChainFamily([THETA2]), 1.0, max_window=10)
+        with pytest.raises(ValidationError):
+            mech.sigma_max([0, 5])
+
+
+class TestFreeInitialFamilies:
+    def test_interval_family_runs(self):
+        family = IntervalChainFamily(0.3, grid_step=0.2)
+        mech = MQMExact(family, 1.0, max_window=50)
+        sigma = mech.sigma_max(100)
+        assert np.isfinite(sigma)
+        assert 0 < sigma <= 100.0
+
+    def test_narrower_family_needs_less_noise(self):
+        wide = MQMExact(IntervalChainFamily(0.2, grid_step=0.1), 1.0, max_window=50)
+        narrow = MQMExact(IntervalChainFamily(0.4, grid_step=0.1), 1.0, max_window=50)
+        assert narrow.sigma_max(100) <= wide.sigma_max(100) + 1e-9
+
+    def test_free_initial_dominates_any_member(self):
+        family = IntervalChainFamily(0.3, grid_step=0.2)
+        free_sigma = MQMExact(family, 1.0, max_window=30).sigma_max(60)
+        for chain in family.chains():
+            fixed_sigma = MQMExact(
+                FiniteChainFamily([chain]), 1.0, max_window=30
+            ).sigma_max(60)
+            assert free_sigma >= fixed_sigma - 1e-9
+
+
+class TestIidTableSearch:
+    def test_trivial_only_when_no_candidates(self):
+        sigma = sigma_max_from_iid_tables(
+            10, 1.0, np.array([]), np.array([]), np.zeros((0, 0)), np.array([]), np.array([])
+        )
+        assert sigma == pytest.approx(10.0)
+
+    def test_all_infinite_influence_falls_back_to_trivial(self):
+        a = np.array([1, 2])
+        inf = np.full((2, 2), np.inf)
+        sigma = sigma_max_from_iid_tables(
+            12, 1.0, a, a, inf, np.full(2, np.inf), np.full(2, np.inf)
+        )
+        assert sigma == pytest.approx(12.0)
+
+    def test_zero_influence_recovers_combinatorial_minimum(self):
+        """With zero influence the best two-sided quilt is (1,1): score 1/eps;
+        the worst node is any interior one, so sigma = 1/eps."""
+        a = np.array([1, 2, 3])
+        zeros2 = np.zeros((3, 3))
+        sigma = sigma_max_from_iid_tables(
+            100, 2.0, a, a, zeros2, np.zeros(3), np.zeros(3)
+        )
+        assert sigma == pytest.approx(0.5)
+
+    def test_length_one_chain(self):
+        sigma = sigma_max_from_iid_tables(
+            1, 1.0, np.array([1]), np.array([1]), np.zeros((1, 1)), np.zeros(1), np.zeros(1)
+        )
+        assert sigma == pytest.approx(1.0)

@@ -1,0 +1,178 @@
+"""Numeric verification of the Pufferfish guarantee (Definition 2.1).
+
+For small enumerable instantiations the released density is a finite Laplace
+mixture, so ``P(M(X) = w | s, theta)`` can be computed in closed form and
+the likelihood-ratio bound ``e^eps`` checked directly on a grid of outputs.
+This exercises the *entire* noise-calibration pipeline end to end: Eq. (5)
+tables, support masking, quilt search, the C.4 initial-distribution
+optimization, the mixing bounds, and the Wasserstein supremum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.group_dp import GroupDPMechanism
+from repro.core.framework import entrywise_instantiation
+from repro.core.laplace import laplace_density
+from repro.core.models import FluCliqueModel, MarkovChainModel
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import CountQuery, StateFrequencyQuery
+from repro.core.wasserstein import WassersteinMechanism
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+
+#: Multiplicative slack on e^eps for floating-point error.
+SLACK = 1.0 + 1e-9
+
+
+def release_density(model, query, secret, scale, w_grid):
+    """Density of ``F(X) + Lap(scale)`` given the secret, on the grid."""
+    density = np.zeros_like(w_grid)
+    mass = 0.0
+    for row, prob in model.support():
+        if row[secret.index] == secret.value:
+            density += prob * laplace_density(w_grid, float(query(np.asarray(row))), scale)
+            mass += prob
+    assert mass > 0
+    return density / mass
+
+
+def assert_pufferfish_holds(instantiation, query, scale, epsilon):
+    """Check inequality (1) for every theta, admissible pair, and output."""
+    outputs = []
+    for model in instantiation.models:
+        outputs.extend(float(query(np.asarray(row))) for row, _ in model.support())
+    lo, hi = min(outputs), max(outputs)
+    pad = 4.0 * scale + 1.0
+    w_grid = np.linspace(lo - pad, hi + pad, 301)
+    bound = np.exp(epsilon) * SLACK
+    for model in instantiation.models:
+        for pair in instantiation.admissible_pairs(model):
+            left = release_density(model, query, pair.left, scale, w_grid)
+            right = release_density(model, query, pair.right, scale, w_grid)
+            ratio = left / right
+            assert ratio.max() <= bound, (
+                f"Pufferfish violated for {pair.describe()}: "
+                f"max ratio {ratio.max():.6f} > e^eps = {np.exp(epsilon):.6f}"
+            )
+            assert (1.0 / ratio).max() <= bound
+
+
+CHAINS = {
+    "uniformish": MarkovChain([0.5, 0.5], [[0.7, 0.3], [0.2, 0.8]]),
+    "degenerate-initial": MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]]),
+    "sticky": MarkovChain([0.6, 0.4], [[0.95, 0.05], [0.1, 0.9]]),
+}
+
+
+class TestMQMExactPrivacy:
+    @pytest.mark.parametrize("name", sorted(CHAINS))
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 3.0])
+    def test_single_theta(self, name, epsilon):
+        chain = CHAINS[name]
+        length = 5
+        family = FiniteChainFamily([chain])
+        mech = MQMExact(family, epsilon, max_window=length)
+        query = StateFrequencyQuery(1, length)
+        scale = query.lipschitz * mech.sigma_max(length)
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+    def test_support_restriction_is_still_private(self):
+        """The tighter Definition-4.1 semantics must still satisfy (1)."""
+        chain = CHAINS["degenerate-initial"]
+        length = 6
+        epsilon = 1.0
+        mech = MQMExact(
+            FiniteChainFamily([chain]), epsilon, max_window=length, restrict_support=True
+        )
+        query = StateFrequencyQuery(1, length)
+        scale = query.lipschitz * mech.sigma_max(length)
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+    def test_multi_theta_family(self):
+        thetas = [CHAINS["uniformish"], CHAINS["sticky"]]
+        length, epsilon = 5, 1.0
+        mech = MQMExact(FiniteChainFamily(thetas), epsilon, max_window=length)
+        query = StateFrequencyQuery(1, length)
+        scale = query.lipschitz * mech.sigma_max(length)
+        inst = entrywise_instantiation(
+            length, 2, [MarkovChainModel(theta, length) for theta in thetas]
+        )
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+    def test_free_initial_family_protects_any_initial(self):
+        """The C.4 optimization must cover every initial distribution."""
+        family = IntervalChainFamily(0.3, grid_step=0.2)
+        length, epsilon = 5, 1.0
+        mech = MQMExact(family, epsilon, max_window=length)
+        query = StateFrequencyQuery(1, length)
+        scale = query.lipschitz * mech.sigma_max(length)
+        rng = np.random.default_rng(0)
+        models = []
+        for p0 in family.parameter_grid():
+            for q in ([1.0, 0.0], [0.0, 1.0], rng.dirichlet([1, 1]).tolist()):
+                chain = MarkovChain(q, IntervalChainFamily.transition_for(p0, p0))
+                models.append(MarkovChainModel(chain, length))
+        inst = entrywise_instantiation(length, 2, models)
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+
+class TestMQMApproxPrivacy:
+    @pytest.mark.parametrize("epsilon", [1.0, 3.0])
+    def test_mixing_chain(self, epsilon):
+        chain = CHAINS["uniformish"].with_stationary_initial()
+        length = 6
+        mech = MQMApprox(FiniteChainFamily([chain]), epsilon)
+        query = StateFrequencyQuery(1, length)
+        scale = query.lipschitz * mech.sigma_max(length)
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+
+class TestWassersteinPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_flu_clique(self, epsilon):
+        model = FluCliqueModel([4], [[0.1, 0.15, 0.5, 0.15, 0.1]])
+        inst = entrywise_instantiation(4, 2, [model])
+        mech = WassersteinMechanism(inst, epsilon)
+        query = CountQuery()
+        scale = mech.noise_scale(query, np.zeros(4, dtype=int))
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+    def test_markov_chain_model(self):
+        chain = CHAINS["sticky"]
+        length, epsilon = 4, 1.0
+        inst = entrywise_instantiation(
+            length, 2, [MarkovChainModel(chain, length)]
+        )
+        mech = WassersteinMechanism(inst, epsilon)
+        query = StateFrequencyQuery(1, length)
+        scale = mech.noise_scale(query, np.zeros(length, dtype=int))
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+
+class TestGroupDPPrivacy:
+    def test_whole_chain_group(self):
+        """GroupDP over one fully-correlated group satisfies Pufferfish."""
+        chain = CHAINS["sticky"]
+        length, epsilon = 5, 1.0
+        query = StateFrequencyQuery(1, length)
+        mech = GroupDPMechanism(epsilon)
+        scale = mech.noise_scale(query, np.zeros(length, dtype=int))
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        assert_pufferfish_holds(inst, query, scale, epsilon)
+
+
+class TestCalibrationIsNotVacuous:
+    def test_insufficient_noise_fails_verification(self):
+        """Sanity: the verifier must catch an under-calibrated mechanism."""
+        chain = CHAINS["sticky"]
+        length, epsilon = 5, 1.0
+        query = StateFrequencyQuery(1, length)
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        # Entry-DP scale (L/eps) ignores correlation and must violate (1).
+        too_small = query.lipschitz / epsilon
+        with pytest.raises(AssertionError):
+            assert_pufferfish_holds(inst, query, too_small, epsilon)

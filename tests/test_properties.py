@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Each property is one the paper's correctness story leans on: metric axioms
+of W-infinity, soundness of the mixing bound (approx >= exact), Theorem 3.3
+(Wasserstein <= group sensitivity), and structural Markov-chain facts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import entrywise_instantiation
+from repro.core.models import FluCliqueModel, MarkovChainModel
+from repro.core.mqm_chain import MQMApprox, MQMExact, chain_max_influence
+from repro.core.queries import CountQuery, StateFrequencyQuery
+from repro.core.wasserstein import group_sensitivity, wasserstein_bound
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.markov import MarkovChain
+from repro.distributions.metrics import (
+    kl_divergence,
+    max_divergence,
+    total_variation,
+    w_infinity,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+probs = st.integers(min_value=1, max_value=20)
+
+
+@st.composite
+def discrete_distributions(draw, max_atoms=6):
+    n = draw(st.integers(min_value=1, max_value=max_atoms))
+    atoms = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=-30, max_value=30),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    weights = [draw(probs) for _ in range(n)]
+    total = sum(weights)
+    return DiscreteDistribution(
+        np.array(atoms, dtype=float), np.array(weights, dtype=float) / total
+    )
+
+
+@st.composite
+def binary_chains(draw, stationary_start=True):
+    p0 = draw(st.floats(min_value=0.1, max_value=0.9))
+    p1 = draw(st.floats(min_value=0.1, max_value=0.9))
+    chain = MarkovChain([0.5, 0.5], [[p0, 1 - p0], [1 - p1, p1]])
+    return chain.with_stationary_initial() if stationary_start else chain
+
+
+@st.composite
+def small_chains(draw, k_max=3):
+    k = draw(st.integers(min_value=2, max_value=k_max))
+    rows = []
+    for _ in range(k):
+        weights = [draw(probs) for _ in range(k)]
+        rows.append(np.asarray(weights, dtype=float) / sum(weights))
+    initial = np.asarray([draw(probs) for _ in range(k)], dtype=float)
+    return MarkovChain(initial / initial.sum(), np.vstack(rows))
+
+
+# ----------------------------------------------------------------------
+# W-infinity metric axioms
+# ----------------------------------------------------------------------
+class TestWInfinityProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions())
+    def test_identity(self, mu):
+        assert w_infinity(mu, mu) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), discrete_distributions())
+    def test_symmetry(self, mu, nu):
+        assert w_infinity(mu, nu) == pytest.approx(w_infinity(nu, mu), abs=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(discrete_distributions(), discrete_distributions(), discrete_distributions())
+    def test_triangle_inequality(self, a, b, c):
+        assert w_infinity(a, c) <= w_infinity(a, b) + w_infinity(b, c) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), st.floats(min_value=-5, max_value=5))
+    def test_shift_law(self, mu, c):
+        assert w_infinity(mu, mu.shift(c)) == pytest.approx(abs(c), abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), discrete_distributions())
+    def test_bounded_by_support_range(self, mu, nu):
+        lo = min(mu.atoms.min(), nu.atoms.min())
+        hi = max(mu.atoms.max(), nu.atoms.max())
+        assert w_infinity(mu, nu) <= hi - lo + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), discrete_distributions())
+    def test_dominates_mean_difference(self, mu, nu):
+        assert w_infinity(mu, nu) >= abs(mu.mean() - nu.mean()) - 1e-9
+
+
+class TestDivergenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), discrete_distributions())
+    def test_max_divergence_dominates_kl(self, p, q):
+        assert max_divergence(p, q) >= kl_divergence(p, q) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions())
+    def test_self_divergences_vanish(self, p):
+        assert max_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+        assert total_variation(p, p) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(discrete_distributions(), discrete_distributions())
+    def test_tv_bounds(self, p, q):
+        tv = total_variation(p, q)
+        assert 0.0 <= tv <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Markov chain structure
+# ----------------------------------------------------------------------
+class TestMarkovChainProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_chains())
+    def test_stationary_is_fixed_point(self, chain):
+        pi = chain.stationary()
+        np.testing.assert_allclose(pi @ chain.transition, pi, atol=1e-8)
+        assert pi.min() >= 0
+        np.testing.assert_allclose(pi.sum(), 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_chains(), st.integers(min_value=0, max_value=6))
+    def test_powers_are_stochastic(self, chain, n):
+        power = chain.power(n)
+        np.testing.assert_allclose(power.sum(axis=1), np.ones(chain.n_states), atol=1e-9)
+        assert power.min() >= -1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_chains())
+    def test_time_reversal_preserves_stationary(self, chain):
+        np.testing.assert_allclose(
+            chain.time_reversal().stationary(), chain.stationary(), atol=1e-7
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_chains())
+    def test_eigengap_range(self, chain):
+        assert 0.0 <= chain.eigengap() <= 2.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(binary_chains(), st.integers(min_value=0, max_value=10))
+    def test_marginals_converge_to_stationary(self, chain, t):
+        # Stationary-started chains stay stationary at every t.
+        np.testing.assert_allclose(chain.marginal(t), chain.stationary(), atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Mechanism dominance invariants
+# ----------------------------------------------------------------------
+class TestMechanismProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(binary_chains(), st.integers(min_value=2, max_value=8))
+    def test_influence_nonnegative(self, chain, ab):
+        assert chain_max_influence(chain, 20, ab, ab) >= 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(binary_chains(), st.floats(min_value=0.3, max_value=4.0))
+    def test_approx_dominates_exact(self, chain, epsilon):
+        """Lemma 4.8 is an upper bound, so MQMApprox can never add less
+        noise than MQMExact on the same singleton family."""
+        family = FiniteChainFamily([chain])
+        T = 200
+        exact = MQMExact(family, epsilon, max_window=60).sigma_max(T)
+        approx = MQMApprox(family, epsilon).sigma_max(T)
+        assert approx >= exact - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(binary_chains(stationary_start=False), st.floats(min_value=0.5, max_value=3.0))
+    def test_exact_never_worse_than_group_dp(self, chain, epsilon):
+        """The trivial quilt gives sigma <= T/eps, i.e. GroupDP noise."""
+        T = 50
+        sigma = MQMExact(FiniteChainFamily([chain]), epsilon, max_window=25).sigma_max(T)
+        assert sigma <= T / epsilon + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.lists(probs, min_size=3, max_size=5),
+    )
+    def test_theorem_3_3_wasserstein_vs_group(self, size, weights):
+        """W <= group-DP sensitivity for random single-clique flu models."""
+        weights = weights[: size + 1]
+        if len(weights) < size + 1:
+            weights = weights + [1] * (size + 1 - len(weights))
+        dist = np.asarray(weights, dtype=float) / sum(weights)
+        model = FluCliqueModel([size], [dist])
+        inst = entrywise_instantiation(size, 2, [model])
+        w = wasserstein_bound(inst, CountQuery())
+        sens = group_sensitivity(CountQuery(), 2, size, [list(range(size))])
+        assert w <= sens + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(binary_chains(stationary_start=False))
+    def test_wasserstein_bounded_by_query_range(self, chain):
+        """W can never exceed the diameter of the query's output range
+        (any coupling moves mass at most that far), which for the frequency
+        query equals L * T = 1."""
+        length = 4
+        inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
+        query = StateFrequencyQuery(1, length)
+        w = wasserstein_bound(inst, query)
+        assert 0.0 <= w <= query.lipschitz * length + 1e-9

@@ -1,0 +1,110 @@
+"""Unit tests for the Lipschitz query layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import (
+    CountQuery,
+    MeanQuery,
+    RelativeFrequencyHistogram,
+    ScalarQuery,
+    StateFrequencyQuery,
+    SumQuery,
+)
+from repro.exceptions import ValidationError
+
+
+class TestStateFrequency:
+    def test_value(self):
+        query = StateFrequencyQuery(1, 5)
+        assert query(np.array([1, 0, 1, 1, 0])) == pytest.approx(0.6)
+
+    def test_lipschitz(self):
+        assert StateFrequencyQuery(0, 100).lipschitz == pytest.approx(0.01)
+
+    def test_lipschitz_is_tight(self):
+        """Changing one record changes the output by exactly 1/n."""
+        query = StateFrequencyQuery(1, 4)
+        base = np.array([0, 0, 0, 0])
+        flipped = base.copy()
+        flipped[2] = 1
+        assert abs(query(flipped) - query(base)) == pytest.approx(query.lipschitz)
+
+    def test_size_check(self):
+        query = StateFrequencyQuery(1, 5)
+        with pytest.raises(ValidationError):
+            query(np.array([1, 0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            StateFrequencyQuery(0, 0)
+
+
+class TestRelativeFrequencyHistogram:
+    def test_value(self):
+        query = RelativeFrequencyHistogram(3, 4)
+        np.testing.assert_allclose(query(np.array([0, 1, 1, 2])), [0.25, 0.5, 0.25])
+
+    def test_sums_to_one(self):
+        query = RelativeFrequencyHistogram(4, 10)
+        data = np.array([0, 1, 2, 3, 0, 1, 2, 3, 0, 0])
+        np.testing.assert_allclose(query(data).sum(), 1.0)
+
+    def test_lipschitz_two_over_n(self):
+        assert RelativeFrequencyHistogram(4, 50).lipschitz == pytest.approx(0.04)
+
+    def test_lipschitz_is_tight(self):
+        query = RelativeFrequencyHistogram(3, 5)
+        base = np.array([0, 0, 1, 2, 2])
+        changed = base.copy()
+        changed[0] = 1
+        l1 = np.abs(query(changed) - query(base)).sum()
+        assert l1 == pytest.approx(query.lipschitz)
+
+    def test_output_dim(self):
+        assert RelativeFrequencyHistogram(7, 5).output_dim == 7
+
+
+class TestCountAndSum:
+    def test_count_default_sums(self):
+        assert CountQuery()(np.array([1, 0, 1])) == 2.0
+
+    def test_count_with_predicate(self):
+        query = CountQuery(lambda x: x >= 2)
+        assert query(np.array([0, 2, 3])) == 2.0
+
+    def test_sum_clips_to_range(self):
+        query = SumQuery(0.0, 1.0)
+        assert query(np.array([0.5, 2.0, -1.0])) == pytest.approx(0.5 + 1.0 + 0.0)
+
+    def test_sum_lipschitz(self):
+        assert SumQuery(-1.0, 3.0).lipschitz == pytest.approx(4.0)
+
+    def test_sum_rejects_bad_range(self):
+        with pytest.raises(ValidationError):
+            SumQuery(1.0, 1.0)
+
+
+class TestMean:
+    def test_value_and_lipschitz(self):
+        query = MeanQuery(0.0, 10.0, 4)
+        assert query(np.array([0.0, 10.0, 5.0, 5.0])) == pytest.approx(5.0)
+        assert query.lipschitz == pytest.approx(2.5)
+
+    def test_size_check(self):
+        with pytest.raises(ValidationError):
+            MeanQuery(0.0, 1.0, 3)(np.array([0.5]))
+
+
+class TestScalarQuery:
+    def test_wraps_function(self):
+        query = ScalarQuery(lambda x: float(x.max()), lipschitz=1.0)
+        assert query(np.array([3, 1, 4])) == 4.0
+
+    def test_requires_positive_lipschitz(self):
+        with pytest.raises(ValidationError):
+            ScalarQuery(lambda x: 0.0, lipschitz=0.0)
+
+    def test_describe_mentions_constant(self):
+        query = ScalarQuery(lambda x: 0.0, lipschitz=2.0)
+        assert "L=2" in query.describe()

@@ -1,0 +1,105 @@
+"""Unit tests for the close-adversary robustness bound (Theorem 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Secret
+from repro.core.models import TabularDataModel
+from repro.core.robustness import (
+    adversary_distance,
+    conditional_distance,
+    effective_epsilon,
+    unconditional_distance,
+)
+from repro.exceptions import ValidationError
+
+
+def model_over_three(probs):
+    """Belief over three databases D1, D2, D3, encoded as one record."""
+    return TabularDataModel([(0,), (1,), (2,)], probs)
+
+
+@pytest.fixture
+def paper_beliefs():
+    """The Section 2.3 worked example."""
+    theta = model_over_three([0.9, 0.05, 0.05])
+    theta_tilde = model_over_three([0.01, 0.95, 0.04])
+    return theta, theta_tilde
+
+
+class TestPaperExample:
+    def test_unconditional_distance_log90(self, paper_beliefs):
+        theta, theta_tilde = paper_beliefs
+        assert unconditional_distance(theta_tilde, theta) == pytest.approx(np.log(90.0))
+
+    def test_conditional_distance_exceeds_unconditional(self, paper_beliefs):
+        """Conditioning on 'not D3' grows the distance beyond log 90.
+
+        The paper reports log 91.0962, which comes from rounding the
+        conditional masses to four decimals (0.9474 / 0.0104); the exact
+        ratio is (0.9/0.95) / (0.01/0.96) = 90.947.
+        """
+        theta, theta_tilde = paper_beliefs
+        cond_theta = TabularDataModel([(0,), (1,)], np.array([0.9, 0.05]) / 0.95)
+        cond_tilde = TabularDataModel([(0,), (1,)], np.array([0.01, 0.95]) / 0.96)
+        distance = unconditional_distance(cond_tilde, cond_theta)
+        exact = np.log((0.9 / 0.95) / (0.01 / 0.96))
+        assert distance == pytest.approx(exact, abs=1e-10)
+        assert distance == pytest.approx(np.log(91.0962), abs=2e-3)
+        assert distance > unconditional_distance(theta_tilde, theta)
+
+
+class TestConditionalDistance:
+    def test_zero_for_identical_models(self):
+        model = model_over_three([0.5, 0.3, 0.2])
+        secrets = [Secret(0, v) for v in range(3)]
+        assert conditional_distance(model, model, secrets) == pytest.approx(0.0)
+
+    def test_skips_zero_probability_secrets(self):
+        a = model_over_three([1.0, 0.0, 0.0])
+        b = model_over_three([0.9, 0.1, 0.0])
+        secrets = [Secret(0, v) for v in range(3)]
+        # Secret value 1 has zero probability under a; value 2 under both.
+        distance = conditional_distance(a, b, secrets)
+        assert np.isfinite(distance)
+
+    def test_infinite_on_support_mismatch(self):
+        a = TabularDataModel([(0, 0), (0, 1)], [0.5, 0.5])
+        b = TabularDataModel([(0, 0)], [1.0])
+        secrets = [Secret(0, 0)]
+        assert conditional_distance(a, b, secrets) == float("inf")
+
+
+class TestAdversaryDistance:
+    def test_in_class_belief_has_zero_delta(self):
+        theta = model_over_three([0.5, 0.25, 0.25])
+        secrets = [Secret(0, v) for v in range(3)]
+        assert adversary_distance(theta, [theta], secrets) == pytest.approx(0.0)
+
+    def test_takes_infimum_over_class(self):
+        tilde = model_over_three([0.5, 0.3, 0.2])
+        far = model_over_three([0.1, 0.1, 0.8])
+        near = model_over_three([0.45, 0.35, 0.2])
+        secrets = [Secret(0, v) for v in range(3)]
+        delta_near = adversary_distance(tilde, [near], secrets)
+        delta_both = adversary_distance(tilde, [far, near], secrets)
+        assert delta_both == pytest.approx(delta_near)
+
+    def test_requires_nonempty_family(self):
+        tilde = model_over_three([0.5, 0.3, 0.2])
+        with pytest.raises(ValidationError):
+            adversary_distance(tilde, [], [Secret(0, 0)])
+
+
+class TestEffectiveEpsilon:
+    def test_formula(self):
+        assert effective_epsilon(1.0, 0.5) == pytest.approx(2.0)
+
+    def test_zero_delta_is_identity(self):
+        assert effective_epsilon(0.7, 0.0) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            effective_epsilon(0.0, 0.1)
+        with pytest.raises(ValidationError):
+            effective_epsilon(1.0, -0.1)

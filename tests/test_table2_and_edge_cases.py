@@ -1,0 +1,111 @@
+"""Coverage for the Table 2 harness pieces and assorted edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.mqm_chain import MQMApprox, MQMExact, chain_max_influence
+from repro.core.queries import StateFrequencyQuery
+from repro.data.activity import CohortProfile, default_cohorts, generate_cohort
+from repro.data.datasets import TimeSeriesDataset
+from repro.data.estimation import empirical_chain
+from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.experiments.table2_runtime import dataset_timings, synthetic_timings, time_call
+
+
+class TestTable2Harness:
+    def test_time_call_returns_seconds(self):
+        elapsed = time_call(lambda: sum(range(1000)))
+        assert 0 <= elapsed < 1.0
+
+    def test_synthetic_timings_structure(self):
+        timings = synthetic_timings(grid_points=3)
+        assert set(timings) == {"GK16", "MQMApprox", "MQMExact"}
+        assert timings["MQMExact"] > 0
+        assert timings["MQMApprox"] > 0
+        # GK16 applies for some of the 3x3 grid points.
+        assert timings["GK16"] is not None
+
+    def test_dataset_timings_on_tiny_cohort(self):
+        profile = default_cohorts()[1]
+        tiny = CohortProfile(
+            name="tiny",
+            n_participants=2,
+            transition=profile.transition,
+            mean_observations=1500,
+            mean_segments=2,
+        )
+        group = generate_cohort(tiny, rng=0)
+        chain = empirical_chain(group, smoothing=0.5)
+        family = FiniteChainFamily.singleton(chain)
+        timings = dataset_timings(family, group.pooled_dataset())
+        assert timings["GK16"] is None  # sticky chain: N/A
+        assert timings["MQMApprox"] > 0
+        assert timings["MQMExact"] > 0
+
+
+class TestMechanismEdgeCases:
+    def test_length_one_chain_exact(self):
+        chain = MarkovChain([0.5, 0.5], [[0.7, 0.3], [0.4, 0.6]])
+        mech = MQMExact(FiniteChainFamily([chain]), 2.0, max_window=8)
+        # Single node: only the trivial quilt, sigma = T / eps = 0.5.
+        assert mech.sigma_max(1) == pytest.approx(0.5)
+
+    def test_length_one_chain_approx(self):
+        chain = MarkovChain([0.6, 0.4], [[0.8, 0.2], [0.3, 0.7]]).with_stationary_initial()
+        mech = MQMApprox(FiniteChainFamily([chain]), 2.0)
+        assert mech.sigma_max(1) == pytest.approx(0.5)
+
+    def test_first_node_right_quilt_influence(self):
+        """Node 0 owns no past; right-only quilts need no marginal term."""
+        chain = MarkovChain([1.0, 0.0], [[0.9, 0.1], [0.4, 0.6]])
+        value = chain_max_influence(chain, 0, None, 2)
+        assert 0.0 <= value < np.inf
+
+    def test_free_initial_first_node(self):
+        family_chain = MarkovChain([0.5, 0.5], [[0.8, 0.2], [0.3, 0.7]])
+        value = chain_max_influence(family_chain, 0, None, 1, free_initial=True)
+        # max over ordered pairs and futures of log P(x,v)/P(x',v):
+        # the binding direction is (x=1, x'=0) at v=1: log(0.7/0.2).
+        assert value == pytest.approx(np.log(0.7 / 0.2))
+
+    def test_sigma_cache_reuse(self):
+        chain = MarkovChain([0.6, 0.4], [[0.8, 0.2], [0.3, 0.7]]).with_stationary_initial()
+        mech = MQMExact(FiniteChainFamily([chain]), 1.0, max_window=32)
+        first = mech.sigma_max([100, 200])
+        second = mech.sigma_max([200, 100])  # same set, different order
+        assert first == second
+        assert len(mech._sigma_cache) == 1
+
+    def test_interval_family_general_gap(self):
+        """The general (P P*) eigengap route for the continuum family."""
+        family = IntervalChainFamily(0.3, grid_step=0.2)
+        general = MQMApprox(family, 1.0, reversible=False)
+        reversible = MQMApprox(family, 1.0, reversible=True)
+        assert general.gap <= reversible.gap
+        assert general.sigma_max(200) >= reversible.sigma_max(200)
+
+    def test_noise_scale_accepts_plain_arrays(self):
+        chain = MarkovChain([0.6, 0.4], [[0.8, 0.2], [0.3, 0.7]]).with_stationary_initial()
+        mech = MQMApprox(FiniteChainFamily([chain]), 1.0)
+        query = StateFrequencyQuery(1, 50)
+        scale = mech.noise_scale(query, np.zeros(50, dtype=np.int64))
+        assert scale > 0
+
+
+class TestDatasetEdgeCases:
+    def test_single_observation_segment(self):
+        data = TimeSeriesDataset([np.array([1])], 2)
+        assert data.longest_segment == 1
+        np.testing.assert_allclose(data.relative_frequencies(), [0.0, 1.0])
+
+    def test_concatenated_cache_tracks_segments(self):
+        data = TimeSeriesDataset([np.array([0, 1]), np.array([1])], 2)
+        first = data.concatenated
+        np.testing.assert_array_equal(first, [0, 1, 1])
+        # Cached value is reused on repeat access.
+        assert data.concatenated is first
+
+    def test_len_protocol(self):
+        data = TimeSeriesDataset([np.array([0, 0, 1])], 2)
+        assert len(data) == 3

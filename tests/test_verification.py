@@ -1,0 +1,97 @@
+"""Unit tests for the public Pufferfish verification utility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import (
+    VerificationReport,
+    output_grid,
+    release_density,
+    verify_pufferfish,
+)
+from repro.core.framework import Secret, entrywise_instantiation
+from repro.core.models import FluCliqueModel, MarkovChainModel
+from repro.core.mqm_chain import MQMExact
+from repro.core.queries import CountQuery, StateFrequencyQuery
+from repro.core.wasserstein import WassersteinMechanism
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def chain_instantiation():
+    chain = MarkovChain([0.6, 0.4], [[0.8, 0.2], [0.3, 0.7]])
+    return chain, entrywise_instantiation(4, 2, [MarkovChainModel(chain, 4)])
+
+
+class TestVerifyPufferfish:
+    def test_correctly_calibrated_mechanism_passes(self, chain_instantiation):
+        chain, inst = chain_instantiation
+        epsilon = 1.0
+        query = StateFrequencyQuery(1, 4)
+        mech = MQMExact(FiniteChainFamily([chain]), epsilon, max_window=4)
+        scale = mech.noise_scale(query, np.zeros(4, dtype=int))
+        report = verify_pufferfish(inst, query, scale, epsilon)
+        assert report.satisfied
+        assert report.empirical_epsilon <= epsilon * (1 + 1e-9)
+        assert "SATISFIED" in report.summary()
+
+    def test_under_calibrated_mechanism_fails(self, chain_instantiation):
+        _, inst = chain_instantiation
+        query = StateFrequencyQuery(1, 4)
+        report = verify_pufferfish(inst, query, scale=query.lipschitz, epsilon=1.0)
+        assert not report.satisfied
+        assert "VIOLATED" in report.summary()
+
+    def test_wasserstein_exact_calibration(self):
+        """The Wasserstein mechanism's empirical epsilon approaches the
+        target (its calibration is tight up to grid resolution)."""
+        model = FluCliqueModel([3], [[0.3, 0.2, 0.2, 0.3]])
+        inst = entrywise_instantiation(3, 2, [model])
+        epsilon = 1.0
+        mech = WassersteinMechanism(inst, epsilon)
+        query = CountQuery()
+        scale = mech.noise_scale(query, np.zeros(3, dtype=int))
+        report = verify_pufferfish(inst, query, scale, epsilon, grid_points=601)
+        assert report.satisfied
+        assert report.empirical_epsilon > 0.3 * epsilon  # not vacuously loose
+
+    def test_worst_pair_identified(self, chain_instantiation):
+        _, inst = chain_instantiation
+        query = StateFrequencyQuery(1, 4)
+        report = verify_pufferfish(inst, query, scale=0.5, epsilon=5.0)
+        worst = report.worst()
+        assert worst.max_log_ratio == report.empirical_epsilon
+
+    def test_rejects_vector_query(self, chain_instantiation):
+        from repro.core.queries import RelativeFrequencyHistogram
+
+        _, inst = chain_instantiation
+        with pytest.raises(ValidationError):
+            verify_pufferfish(inst, RelativeFrequencyHistogram(2, 4), 1.0, 1.0)
+
+    def test_rejects_zero_scale(self, chain_instantiation):
+        _, inst = chain_instantiation
+        with pytest.raises(ValidationError):
+            verify_pufferfish(inst, StateFrequencyQuery(1, 4), 0.0, 1.0)
+
+
+class TestHelpers:
+    def test_release_density_integrates_to_one(self, chain_instantiation):
+        chain, inst = chain_instantiation
+        query = StateFrequencyQuery(1, 4)
+        grid = np.linspace(-6, 7, 20_001)
+        density = release_density(inst.models[0], query, Secret(0, 0), 0.7, grid)
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_output_grid_covers_range(self, chain_instantiation):
+        _, inst = chain_instantiation
+        query = StateFrequencyQuery(1, 4)
+        grid = output_grid(inst, query, scale=1.0, grid_points=51)
+        assert grid.min() < 0.0 and grid.max() > 1.0
+        assert grid.size == 51
+
+    def test_report_satisfied_boundary(self):
+        report = VerificationReport(1.0, 1.0, [], 10)
+        assert report.satisfied

@@ -1,0 +1,138 @@
+"""Unit tests for the Wasserstein Mechanism (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Secret, SecretPair, entrywise_instantiation
+from repro.core.models import FluCliqueModel, MarkovChainModel, TabularDataModel
+from repro.core.queries import CountQuery, StateFrequencyQuery
+from repro.core.wasserstein import (
+    WassersteinMechanism,
+    conditional_output_distribution,
+    group_sensitivity,
+    independence_groups,
+    wasserstein_bound,
+)
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def flu_instantiation():
+    """Section 3.1 worked example: 4-person clique, symmetric count law."""
+    model = FluCliqueModel([4], [[0.1, 0.15, 0.5, 0.15, 0.1]])
+    return entrywise_instantiation(4, 2, [model])
+
+
+class TestConditionalOutput:
+    def test_matches_model_conditionals(self, flu_instantiation):
+        model = flu_instantiation.models[0]
+        dist = conditional_output_distribution(model, CountQuery(), Secret(0, 0))
+        np.testing.assert_allclose(
+            dist.probs_on(range(5)), [0.2, 0.225, 0.5, 0.075, 0.0], atol=1e-12
+        )
+
+    def test_zero_probability_secret_rejected(self):
+        model = TabularDataModel([(0,)], [1.0])
+        with pytest.raises(ValidationError):
+            conditional_output_distribution(model, CountQuery(), Secret(0, 1))
+
+
+class TestWassersteinBound:
+    def test_flu_example_bound_is_two(self, flu_instantiation):
+        """The paper computes W = 2 for the flu example."""
+        assert wasserstein_bound(flu_instantiation, CountQuery()) == pytest.approx(2.0)
+
+    def test_details_cover_admissible_pairs(self, flu_instantiation):
+        bound, details = wasserstein_bound(
+            flu_instantiation, CountQuery(), return_details=True
+        )
+        assert bound == pytest.approx(2.0)
+        assert max(d.distance for d in details) == pytest.approx(2.0)
+        # 4 records x 1 value pair x 1 theta.
+        assert len(details) == 4
+
+    def test_independent_records_reduce_to_sensitivity(self):
+        """With independent records, Pufferfish = DP and W = query sensitivity."""
+        outcomes = [(a, b) for a in range(2) for b in range(2)]
+        probs = [0.25] * 4
+        inst = entrywise_instantiation(2, 2, [TabularDataModel(outcomes, probs)])
+        assert wasserstein_bound(inst, CountQuery()) == pytest.approx(1.0)
+
+    def test_rejects_vector_queries(self, flu_instantiation):
+        from repro.core.queries import RelativeFrequencyHistogram
+
+        with pytest.raises(ValidationError):
+            wasserstein_bound(flu_instantiation, RelativeFrequencyHistogram(2, 4))
+
+    def test_multiple_thetas_take_supremum(self):
+        weak = FluCliqueModel([2], [[0.4, 0.2, 0.4]])
+        strong = FluCliqueModel([2], [[0.5, 0.0, 0.5]])  # perfectly correlated
+        inst_weak = entrywise_instantiation(2, 2, [weak])
+        inst_both = entrywise_instantiation(2, 2, [weak, strong])
+        w_weak = wasserstein_bound(inst_weak, CountQuery())
+        w_both = wasserstein_bound(inst_both, CountQuery())
+        assert w_both >= w_weak
+        assert w_both == pytest.approx(2.0)  # flipping one flips the other
+
+
+class TestWassersteinMechanism:
+    def test_noise_scale(self, flu_instantiation):
+        mech = WassersteinMechanism(flu_instantiation, epsilon=2.0)
+        scale = mech.noise_scale(CountQuery(), np.array([0, 1, 1, 0]))
+        assert scale == pytest.approx(1.0)  # W=2 over epsilon=2
+
+    def test_release_details(self, flu_instantiation):
+        mech = WassersteinMechanism(flu_instantiation, epsilon=1.0)
+        release = mech.release(np.array([0, 1, 1, 0]), CountQuery(), rng=0)
+        assert release.details["wasserstein_bound"] == pytest.approx(2.0)
+        assert release.mechanism == "Wasserstein"
+
+    def test_bound_cached_per_query(self, flu_instantiation):
+        mech = WassersteinMechanism(flu_instantiation, epsilon=1.0)
+        query = CountQuery()
+        first = mech.wasserstein_distance_bound(query)
+        second = mech.wasserstein_distance_bound(query)
+        assert first == second
+
+
+class TestGroupSensitivity:
+    def test_flu_group_sensitivity_is_four(self):
+        """One clique of four: GroupDP sensitivity of the count is 4."""
+        sens = group_sensitivity(CountQuery(), 2, 4, [[0, 1, 2, 3]])
+        assert sens == pytest.approx(4.0)
+
+    def test_theorem_3_3_flu(self, flu_instantiation):
+        """W <= group sensitivity (Theorem 3.3): 2 <= 4 for the flu example."""
+        w = wasserstein_bound(flu_instantiation, CountQuery())
+        sens = group_sensitivity(CountQuery(), 2, 4, [[0, 1, 2, 3]])
+        assert w <= sens
+
+    def test_theorem_3_3_markov_chain(self):
+        """W <= group sensitivity for a short chain (one fully-linked group)."""
+        chain = MarkovChain([0.7, 0.3], [[0.8, 0.2], [0.3, 0.7]])
+        model = MarkovChainModel(chain, 4)
+        inst = entrywise_instantiation(4, 2, [model])
+        query = StateFrequencyQuery(1, 4)
+        w = wasserstein_bound(inst, query)
+        sens = group_sensitivity(query, 2, 4, [[0, 1, 2, 3]])
+        assert w <= sens + 1e-12
+
+    def test_singleton_groups_match_entry_sensitivity(self):
+        sens = group_sensitivity(CountQuery(), 2, 3, [[0], [1], [2]])
+        assert sens == pytest.approx(1.0)
+
+
+class TestIndependenceGroups:
+    def test_independent_records_are_singletons(self):
+        outcomes = [(a, b) for a in range(2) for b in range(2)]
+        model = TabularDataModel(outcomes, [0.25] * 4)
+        assert independence_groups([model]) == [[0], [1]]
+
+    def test_clique_model_is_one_group(self):
+        model = FluCliqueModel([3], [[0.2, 0.2, 0.2, 0.4]])
+        assert independence_groups([model]) == [[0, 1, 2]]
+
+    def test_two_cliques_are_two_groups(self):
+        model = FluCliqueModel([2, 2], [[0.5, 0.0, 0.5], [0.5, 0.0, 0.5]])
+        assert independence_groups([model]) == [[0, 1], [2, 3]]
