@@ -11,12 +11,14 @@ import pytest
 from benchmarks.recording import record
 from repro.baselines.gk16 import GK16Mechanism
 from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.core.queries import RelativeFrequencyHistogram
 from repro.data.estimation import empirical_chain
 from repro.data.power import generate_power_dataset
 from repro.distributions.chain_family import FiniteChainFamily, IntervalChainFamily
 from repro.distributions.markov import MarkovChain
 from repro.experiments.config import FAST
-from repro.experiments.table2_runtime import run, synthetic_timings
+from repro.experiments.table2_runtime import dataset_timings, run, synthetic_timings
+from repro.serving import PrivacyEngine
 
 
 @pytest.fixture(scope="module")
@@ -94,3 +96,26 @@ def test_power_mqm_approx_cell(benchmark, power_family):
         return MQMApprox(family, 1.0).sigma_max(dataset.segment_lengths)
 
     assert benchmark.pedantic(scale, rounds=2, iterations=1) > 0
+
+
+def test_power_warm_engine_amortizes(power_family):
+    """Table 2 measures the one-time calibration cost; a warm engine turns
+    repeat traffic into cache lookups, so the warm column must collapse."""
+    family, dataset = power_family
+    timings = dataset_timings(family, dataset, include_warm=True)
+    assert timings["MQMExact(warm)"] < timings["MQMExact"]
+
+
+def test_power_engine_release_batch(benchmark, power_family):
+    """Releases/second against the power dataset with a hot cache."""
+    family, dataset = power_family
+    approx = MQMApprox(family, 1.0)
+    window = approx.optimal_quilt_extent(dataset.longest_segment) or 64
+    engine = PrivacyEngine(MQMExact(family, 1.0, max_window=window), rng=0)
+    query = RelativeFrequencyHistogram(dataset.n_states, dataset.n_observations)
+    engine.calibrate(query, dataset)
+
+    batch = benchmark.pedantic(
+        lambda: engine.release_repeated(dataset, query, 64), rounds=2, iterations=1
+    )
+    assert len(batch) == 64

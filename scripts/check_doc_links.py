@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Verify that every file path referenced in README.md and docs/ exists.
+
+The docs promise specific code paths (``src/repro/serving/engine.py``,
+``benchmarks/bench_engine_throughput.py``, ...).  This check keeps them
+honest: it extracts
+
+* markdown links ``[text](target)`` (local targets only), and
+* inline-code path references (backticked strings that look like repo paths
+  — contain a ``/`` and end in a known extension, or start with a known
+  top-level directory),
+
+resolves them against the repo root, and fails listing anything missing.
+Run directly (``python scripts/check_doc_links.py``), via the tier-1 test
+wrapper (``tests/test_docs_links.py``), or in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents whose references must resolve.
+DOCUMENTS = ("README.md", "docs/architecture.md", "docs/api.md")
+
+#: Extensions that make a backticked token a file reference.
+PATH_EXTENSIONS = (".py", ".md", ".json", ".txt", ".yml", ".yaml", ".toml", ".cfg")
+
+#: Top-level directories that make an extensionless token a path reference.
+TOP_LEVEL_DIRS = ("src/", "docs/", "tests/", "benchmarks/", "examples/", "scripts/")
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+
+def referenced_paths(text: str) -> set[str]:
+    """Candidate repo-relative paths mentioned in one document."""
+    candidates: set[str] = set()
+    for target in MARKDOWN_LINK.findall(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        candidates.add(target)
+    for token in INLINE_CODE.findall(text):
+        token = token.strip().rstrip("/")
+        if " " in token or "*" in token or "{" in token:
+            continue
+        looks_like_file = "/" in token and token.endswith(PATH_EXTENSIONS)
+        looks_like_dir = token.startswith(TOP_LEVEL_DIRS) or (
+            token + "/"
+        ) in TOP_LEVEL_DIRS
+        if looks_like_file or looks_like_dir:
+            candidates.add(token)
+    return candidates
+
+
+def missing_references(root: Path = REPO_ROOT) -> list[tuple[str, str]]:
+    """``(document, reference)`` pairs that do not resolve to real files."""
+    missing: list[tuple[str, str]] = []
+    for name in DOCUMENTS:
+        document = root / name
+        if not document.exists():
+            missing.append(("<repo>", name))
+            continue
+        base = document.parent
+        for reference in sorted(referenced_paths(document.read_text())):
+            # Relative links resolve against the document; bare repo paths
+            # against the root.  Accept either.
+            if (base / reference).exists() or (root / reference).exists():
+                continue
+            missing.append((name, reference))
+    return missing
+
+
+def main() -> int:
+    missing = missing_references()
+    if missing:
+        print("Broken documentation references:")
+        for document, reference in missing:
+            print(f"  {document}: {reference}")
+        return 1
+    print(f"doc link check OK ({', '.join(DOCUMENTS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

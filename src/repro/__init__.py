@@ -27,6 +27,7 @@ from repro.baselines import (
     IndividualDPMechanism,
 )
 from repro.core import (
+    Calibration,
     CompositionAccountant,
     CountQuery,
     FluCliqueModel,
@@ -51,6 +52,12 @@ from repro.core import (
     wasserstein_bound,
 )
 from repro.data import StudyGroup, TimeSeriesDataset
+from repro.serving import (
+    CalibrationCache,
+    InMemoryLRUCache,
+    JSONFileCache,
+    PrivacyEngine,
+)
 from repro.distributions import (
     DiscreteBayesianNetwork,
     DiscreteDistribution,
@@ -65,6 +72,8 @@ from repro.distributions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Calibration",
+    "CalibrationCache",
     "CompositionAccountant",
     "CountQuery",
     "DiscreteBayesianNetwork",
@@ -75,13 +84,16 @@ __all__ = [
     "GK16Mechanism",
     "GroupDPMechanism",
     "IndividualDPMechanism",
+    "InMemoryLRUCache",
     "IntervalChainFamily",
+    "JSONFileCache",
     "MQMApprox",
     "MQMExact",
     "MarkovChain",
     "MarkovChainModel",
     "MarkovQuiltMechanism",
     "Mechanism",
+    "PrivacyEngine",
     "PrivateRelease",
     "PufferfishInstantiation",
     "Query",

@@ -6,7 +6,12 @@ Commands
     Run one (or all) paper experiments at the full or fast profile.
 ``verify``
     Numerically verify the Pufferfish inequality for MQMExact on a small
-    chain instantiation (a self-check of the installed build).
+    chain instantiation (a self-check of the installed build).  Calibration
+    goes through the serving engine, so this also exercises the cache path.
+``throughput``
+    Quick cold-versus-warm serving demonstration: releases/second with
+    per-release recalibration versus a warm :class:`repro.serving.
+    PrivacyEngine`, printed as JSON.
 ``info``
     Print version and the experiment inventory.
 """
@@ -61,16 +66,72 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.queries import StateFrequencyQuery
     from repro.distributions.chain_family import FiniteChainFamily
     from repro.distributions.markov import MarkovChain
+    from repro.serving import PrivacyEngine
 
     chain = MarkovChain([0.6, 0.4], [[0.85, 0.15], [0.2, 0.8]])
     length = args.length
     inst = entrywise_instantiation(length, 2, [MarkovChainModel(chain, length)])
     query = StateFrequencyQuery(1, length)
     mech = MQMExact(FiniteChainFamily([chain]), args.epsilon, max_window=length)
-    scale = mech.noise_scale(query, np.zeros(length, dtype=int))
+    engine = PrivacyEngine(mech)
+    scale = engine.calibrate(query, np.zeros(length, dtype=int)).scale
     report = verify_pufferfish(inst, query, scale, args.epsilon)
     print(report.summary())
     return 0 if report.satisfied else 1
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.core.mqm_chain import MQMExact
+    from repro.core.queries import StateFrequencyQuery
+    from repro.distributions.chain_family import FiniteChainFamily
+    from repro.distributions.markov import MarkovChain
+    from repro.serving import PrivacyEngine
+
+    chain = MarkovChain(
+        [0.25, 0.25, 0.25, 0.25],
+        [
+            [0.7, 0.1, 0.1, 0.1],
+            [0.1, 0.7, 0.1, 0.1],
+            [0.1, 0.1, 0.7, 0.1],
+            [0.1, 0.1, 0.1, 0.7],
+        ],
+    ).with_stationary_initial()
+    family = FiniteChainFamily([chain])
+    length = args.length
+    data = chain.sample(length, rng=0)
+    query = StateFrequencyQuery(1, length)
+
+    cold_releases = min(args.releases, 20)
+    start = time.perf_counter()
+    for _ in range(cold_releases):
+        MQMExact(family, args.epsilon, max_window=args.window).release(data, query, rng=1)
+    cold_seconds = time.perf_counter() - start
+
+    engine = PrivacyEngine(MQMExact(family, args.epsilon, max_window=args.window), rng=1)
+    engine.calibrate(query, data)
+    start = time.perf_counter()
+    engine.release_repeated(data, query, args.releases)
+    warm_seconds = time.perf_counter() - start
+
+    cold_rps = cold_releases / cold_seconds
+    warm_rps = args.releases / warm_seconds
+    print(
+        json.dumps(
+            {
+                "workload": {"mechanism": "MQMExact", "length": length, "k": 4},
+                "cold": {"releases": cold_releases, "seconds": cold_seconds, "rps": cold_rps},
+                "warm": {"releases": args.releases, "seconds": warm_seconds, "rps": warm_rps},
+                "speedup": warm_rps / cold_rps,
+            },
+            indent=2,
+        )
+    )
+    return 0
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -78,7 +139,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
     print(f"pufferfish-repro {repro.__version__}")
     print("experiments:", ", ".join(EXPERIMENTS))
-    print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
+    print("see README.md for the quickstart, docs/architecture.md for the layer")
+    print("diagram, and docs/api.md for the public API reference")
     return 0
 
 
@@ -95,6 +157,21 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument("--epsilon", type=float, default=1.0)
     p_verify.add_argument("--length", type=int, default=5)
     p_verify.set_defaults(func=_cmd_verify)
+
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+        return parsed
+
+    p_tp = sub.add_parser(
+        "throughput", help="cold vs warm-cache serving demo (JSON output)"
+    )
+    p_tp.add_argument("--epsilon", type=float, default=1.0)
+    p_tp.add_argument("--length", type=positive_int, default=2000)
+    p_tp.add_argument("--window", type=positive_int, default=64)
+    p_tp.add_argument("--releases", type=positive_int, default=1000)
+    p_tp.set_defaults(func=_cmd_throughput)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(func=_cmd_info)

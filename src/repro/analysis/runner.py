@@ -2,10 +2,11 @@
 
 The noise scale of every mechanism in this library is deterministic given
 the data and family, so a "trial" only redraws the Laplace noise (and, for
-the synthetic experiments, optionally the dataset itself).  The runner keeps
-the scale computation out of the timed/averaged loop exactly as the paper's
-methodology separates scale computation (Table 2) from error measurement
-(Tables 1 and 3).
+the synthetic experiments, optionally the dataset itself).  The runner goes
+through the serving layer: a :class:`~repro.serving.PrivacyEngine` computes
+(and caches) the calibration once, keeping the scale computation out of the
+timed/averaged loop exactly as the paper's methodology separates scale
+computation (Table 2) from error measurement (Tables 1 and 3).
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.analysis.metrics import l1_error
 from repro.core.laplace import Mechanism
 from repro.core.queries import Query
 from repro.exceptions import ValidationError
+from repro.serving.engine import PrivacyEngine
 from repro.utils.rngtools import resolve_rng
 
 
@@ -40,7 +42,7 @@ class TrialResult:
 
 
 def run_release_trials(
-    mechanism: Mechanism,
+    mechanism: Mechanism | PrivacyEngine,
     data,
     query: Query,
     n_trials: int,
@@ -48,22 +50,28 @@ def run_release_trials(
 ) -> TrialResult:
     """Release ``n_trials`` times and aggregate L1 errors.
 
-    The scale is computed once; each trial adds fresh noise to the exact
-    answer, which is equivalent to (and much faster than) calling
-    :meth:`Mechanism.release` repeatedly.
+    Accepts a bare mechanism (wrapped into a throwaway
+    :class:`~repro.serving.PrivacyEngine`) or an existing engine, whose
+    calibration cache is then shared across calls.  The scale is calibrated
+    once; each trial adds fresh noise to the exact answer, which is
+    equivalent to (and much faster than) calling :meth:`Mechanism.release`
+    repeatedly.
     """
     if n_trials < 1:
         raise ValidationError(f"n_trials must be >= 1, got {n_trials}")
     gen = resolve_rng(rng)
+    engine = (
+        mechanism if isinstance(mechanism, PrivacyEngine) else PrivacyEngine(mechanism)
+    )
     values = getattr(data, "concatenated", data)
     exact = np.atleast_1d(np.asarray(query(values), dtype=float))
-    scale = mechanism.noise_scale(query, data)
+    scale = engine.calibrate(query, data).scale
     noise = gen.laplace(0.0, scale, size=(n_trials, exact.size)) if scale > 0 else np.zeros(
         (n_trials, exact.size)
     )
     errors = np.abs(noise).sum(axis=1)
     return TrialResult(
-        mechanism=mechanism.name,
+        mechanism=engine.mechanism.name,
         mean_l1=float(errors.mean()),
         std_l1=float(errors.std()),
         n_trials=n_trials,

@@ -31,6 +31,9 @@ class EntryDPMechanism(Mechanism):
     def noise_scale(self, query: Query, data) -> float:
         return query.lipschitz / self.epsilon
 
+    def calibration_fingerprint(self) -> tuple:
+        return ("EntryDP", self.epsilon)
+
 
 class IndividualDPMechanism(Mechanism):
     """Individual-level DP for pooled relative-frequency histograms.
@@ -64,3 +67,6 @@ class IndividualDPMechanism(Mechanism):
 
     def scale_details(self, query: Query, data) -> dict:
         return {"sensitivity": self.sensitivity()}
+
+    def calibration_fingerprint(self) -> tuple:
+        return ("DP", self.epsilon, tuple(self.participant_sizes))

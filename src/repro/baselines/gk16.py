@@ -191,6 +191,9 @@ class GK16Mechanism(Mechanism):
         self.length = length
         self._rho_cache: dict[int, float] = {}
 
+    def calibration_fingerprint(self) -> tuple:
+        return ("GK16", self.epsilon, self.family.fingerprint(), self.length)
+
     def rho(self, length: int) -> float:
         """Worst spectral norm over the family for the given chain length."""
         if length not in self._rho_cache:

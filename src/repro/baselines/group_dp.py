@@ -38,3 +38,6 @@ class GroupDPMechanism(Mechanism):
 
     def scale_details(self, query: Query, data) -> dict:
         return {"largest_group": self.largest_group(data)}
+
+    def calibration_fingerprint(self) -> tuple:
+        return ("GroupDP", self.epsilon)

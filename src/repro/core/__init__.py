@@ -10,7 +10,7 @@ from repro.core.framework import (
     SecretPair,
     entrywise_instantiation,
 )
-from repro.core.laplace import Mechanism, PrivateRelease, sample_laplace
+from repro.core.laplace import Calibration, Mechanism, PrivateRelease, sample_laplace
 from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
 from repro.core.models import (
     DataModel,
@@ -32,6 +32,7 @@ from repro.core.robustness import adversary_distance, effective_epsilon
 from repro.core.wasserstein import WassersteinMechanism, wasserstein_bound
 
 __all__ = [
+    "Calibration",
     "CompositionAccountant",
     "CompositionRecord",
     "CountQuery",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-from repro.exceptions import PrivacyParameterError
+from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,12 @@ class CompositionRecord:
 class CompositionAccountant:
     """Tracks Markov Quilt Mechanism releases over one database.
 
+    The Theorem 4.4 guarantee only depends on ``(count, max epsilon, shared
+    signature)``, so those aggregates are maintained incrementally — every
+    budget check is O(1) however many releases a long-lived engine has
+    served.  ``records`` remains the full audit trail; treat it as read-only
+    (mutating it externally desynchronizes the aggregates).
+
     Parameters
     ----------
     budget:
@@ -43,6 +49,10 @@ class CompositionAccountant:
     budget: float | None = None
     records: list[CompositionRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._worst = max((r.epsilon for r in self.records), default=0.0)
+        self._signatures = {r.quilt_signature for r in self.records}
+
     def record(
         self,
         epsilon: float,
@@ -52,57 +62,71 @@ class CompositionAccountant:
     ) -> CompositionRecord:
         """Register a release; raises if it would exceed the budget or break
         the same-quilt condition."""
+        return self.record_many(
+            1, epsilon, mechanism=mechanism, quilt_signature=quilt_signature
+        )[0]
+
+    def record_many(
+        self,
+        n_releases: int,
+        epsilon: float,
+        *,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+    ) -> list[CompositionRecord]:
+        """Register ``n_releases`` identical releases atomically.
+
+        The serving layer's batched path records whole batches through here;
+        either every release fits under the budget (and shares the standing
+        quilt signature) or none is recorded.  The audit trail stores one
+        frozen record object referenced ``n_releases`` times.
+        """
         if epsilon <= 0:
             raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
-        candidate = CompositionRecord(float(epsilon), mechanism, quilt_signature)
-        tentative = self.records + [candidate]
-        if not _signatures_consistent(tentative):
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        if self._signatures and quilt_signature not in self._signatures:
             raise PrivacyParameterError(
                 "releases use different active Markov quilts; Theorem 4.4 does "
                 "not apply and Pufferfish privacy may not compose"
             )
-        total = _total(tentative)
+        worst = max(self._worst, float(epsilon))
+        total = (len(self.records) + n_releases) * worst
         if self.budget is not None and total > self.budget + 1e-12:
-            raise PrivacyParameterError(
-                f"release would bring the composed guarantee to {total:.4g}, "
-                f"exceeding the budget of {self.budget:.4g}"
+            raise BudgetExhaustedError(
+                f"{n_releases} release(s) would bring the composed guarantee to "
+                f"{total:.4g}, exceeding the budget of {self.budget:.4g}"
             )
-        self.records.append(candidate)
-        return candidate
+        record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+        self.records.extend([record] * n_releases)
+        self._worst = worst
+        self._signatures.add(quilt_signature)
+        return [record] * n_releases
 
     @property
     def is_composable(self) -> bool:
         """Whether all recorded releases share one quilt signature."""
-        return _signatures_consistent(self.records)
+        return len(self._signatures) <= 1
 
     def total_epsilon(self) -> float:
         """The composed guarantee ``K * max_k eps_k`` (0.0 when empty)."""
-        if not _signatures_consistent(self.records):
+        if not self.is_composable:
             raise PrivacyParameterError(
                 "releases use different active Markov quilts; no composition "
                 "guarantee is available"
             )
-        return _total(self.records)
+        return len(self.records) * self._worst
 
     def remaining(self) -> float | None:
         """Remaining budget, or ``None`` when no budget was set."""
         if self.budget is None:
             return None
-        return max(0.0, self.budget - _total(self.records))
+        return max(0.0, self.budget - len(self.records) * self._worst)
 
     def __len__(self) -> int:
         return len(self.records)
-
-
-def _signatures_consistent(records: list[CompositionRecord]) -> bool:
-    signatures = {r.quilt_signature for r in records}
-    return len(signatures) <= 1
-
-
-def _total(records: list[CompositionRecord]) -> float:
-    if not records:
-        return 0.0
-    return len(records) * max(r.epsilon for r in records)
 
 
 def compose_epsilons(epsilons: list[float]) -> float:

@@ -105,6 +105,37 @@ class PufferfishInstantiation:
             if model.secret_probability(pair.left) > 0 and model.secret_probability(pair.right) > 0:
                 yield pair
 
+    def fingerprint(self) -> tuple:
+        """Content hash of ``(S, Q, Theta)`` for calibration caching.
+
+        Models are hashed through their support enumeration (the same
+        quantity the Wasserstein Mechanism consumes), so two instantiations
+        with equal fingerprints produce identical ``W`` bounds.  The
+        enumeration is no more expensive than one scale computation, and the
+        result is memoized (the instantiation is immutable), so repeated
+        cache lookups against one instantiation pay it once.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        digest = hashlib.sha256()
+        for secret in self.secrets:
+            digest.update(f"s:{secret.index}:{secret.value};".encode())
+        for pair in self.pairs:
+            digest.update(
+                f"q:{pair.left.index}:{pair.left.value}:"
+                f"{pair.right.index}:{pair.right.value};".encode()
+            )
+        for model in self.models:
+            digest.update(b"m:")
+            for row, prob in model.support():
+                digest.update(",".join(str(int(v)) for v in row).encode())
+                digest.update(f"={prob!r};".encode())
+        self._fingerprint = ("PufferfishInstantiation", digest.hexdigest())
+        return self._fingerprint
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"PufferfishInstantiation(secrets={len(self.secrets)}, "

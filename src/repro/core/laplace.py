@@ -4,10 +4,21 @@ Every mechanism in the paper is of the form ``F(D) + scale * Lap(1)`` (added
 per coordinate for vector queries, which preserves the guarantee for
 L1-Lipschitz queries by Proposition 1 of Dwork et al.).  The subclasses only
 differ in how ``scale`` is computed, so the shared release logic lives here.
+
+Calibration versus release
+--------------------------
+Computing ``scale`` is the expensive part of every mechanism in this library
+(enumerating supports for the Wasserstein Mechanism, searching quilt sets for
+MQM); adding noise is microseconds.  :meth:`Mechanism.calibrate` performs the
+expensive step explicitly and returns a :class:`Calibration` that
+:meth:`Mechanism.release` can consume, so callers — in particular
+:class:`repro.serving.PrivacyEngine` — can compute a calibration once, cache
+it, and amortize it over many releases.
 """
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
@@ -44,6 +55,72 @@ def laplace_density(w: np.ndarray | float, center: float, scale: float) -> np.nd
     return np.exp(-np.abs(np.asarray(w, dtype=float) - center) / scale) / (2.0 * scale)
 
 
+@dataclass(frozen=True)
+class Calibration:
+    """The output of the expensive half of a mechanism: a noise scale.
+
+    A calibration is valid for exactly one combination of mechanism (with its
+    distribution class Theta and epsilon), query, and data *shape* (for the
+    chain mechanisms, the multiset of segment lengths — the noise scale never
+    reads the record values themselves).  The serving layer keys its cache on
+    precisely that combination; see ``docs/architecture.md`` for why reusing
+    a calibration outside its key would be a privacy bug.
+
+    Attributes
+    ----------
+    scale:
+        Per-coordinate Laplace scale (``L * sigma`` for MQM, ``W / epsilon``
+        for the Wasserstein Mechanism).
+    epsilon:
+        Privacy level the scale was calibrated for.
+    mechanism:
+        Name of the mechanism that produced it.
+    details:
+        Mechanism-specific diagnostics (``sigma_max``, the active quilt, ...).
+    """
+
+    scale: float
+    epsilon: float
+    mechanism: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (numpy scalars coerced, arrays listed)."""
+        return {
+            "scale": float(self.scale),
+            "epsilon": float(self.epsilon),
+            "mechanism": str(self.mechanism),
+            "details": _jsonify(self.details),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Calibration":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            scale=float(payload["scale"]),
+            epsilon=float(payload["epsilon"]),
+            mechanism=str(payload["mechanism"]),
+            details=dict(payload.get("details", {})),
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort coercion of diagnostics to JSON-safe types; entries that
+    cannot be represented are replaced by their ``repr`` (diagnostics only —
+    the scale itself is always a float)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    return repr(value)
+
+
 @dataclass
 class PrivateRelease:
     """The result of one private release.
@@ -77,6 +154,13 @@ class PrivateRelease:
         return float(np.sum(np.abs(np.atleast_1d(self.value) - np.atleast_1d(self.true_value))))
 
 
+#: Monotonic instance tokens for mechanisms without a content-based
+#: fingerprint.  Unlike ``id()``, whose values recycle after garbage
+#: collection (letting a *new* mechanism hit a dead mechanism's cache
+#: entry), a counter value is never reissued within the process.
+_INSTANCE_COUNTER = itertools.count()
+
+
 class Mechanism(ABC):
     """Base class: compute a noise scale, then release ``F(D) + noise``."""
 
@@ -87,6 +171,7 @@ class Mechanism(ABC):
         if epsilon <= 0:
             raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
         self.epsilon = float(epsilon)
+        self._instance_token = next(_INSTANCE_COUNTER)
 
     @abstractmethod
     def noise_scale(self, query: Query, data: np.ndarray) -> float:
@@ -96,21 +181,66 @@ class Mechanism(ABC):
         """Optional diagnostics attached to releases (override as needed)."""
         return {}
 
+    def calibrate(self, query: Query, data: np.ndarray) -> Calibration:
+        """The expensive half of a release, as an explicit step.
+
+        Runs the mechanism's scale computation (support enumeration, quilt
+        search, ...) and packages the result.  The returned object can be
+        passed back to :meth:`release` any number of times — or cached by a
+        :class:`repro.serving.CalibrationCache` keyed on
+        :meth:`calibration_fingerprint`.
+        """
+        return Calibration(
+            scale=float(self.noise_scale(query, data)),
+            epsilon=self.epsilon,
+            mechanism=self.name,
+            details=self.scale_details(query, data),
+        )
+
+    def calibration_fingerprint(self) -> tuple:
+        """Hashable identity of everything (besides query and data shape)
+        that the noise scale depends on.
+
+        Two mechanism instances with equal fingerprints must produce equal
+        calibrations for every (query, data) pair; the serving cache reuses
+        entries across instances on that basis, so an over-coarse fingerprint
+        is a privacy bug while an over-fine one only costs cache misses.
+        Subclasses extend the base tuple with their distribution class's
+        fingerprint (see e.g. ``MQMExact.calibration_fingerprint``); the base
+        implementation marks the instance as uncacheable-by-content by
+        including a process-unique instance token, which never aliases two
+        mechanisms — not even after one is garbage-collected (``id()`` would).
+        """
+        return (
+            type(self).__name__,
+            self.name,
+            self.epsilon,
+            ("instance", self._instance_token),
+        )
+
     def release(
         self,
         data: np.ndarray,
         query: Query,
         rng: "int | np.random.Generator | None" = None,
+        *,
+        calibration: Calibration | None = None,
     ) -> PrivateRelease:
         """Evaluate the query and add calibrated Laplace noise.
 
         ``data`` may be a raw array or any dataset object exposing a
-        ``concatenated`` array (e.g. ``TimeSeriesDataset``).
+        ``concatenated`` array (e.g. ``TimeSeriesDataset``).  Passing a
+        precomputed ``calibration`` (from :meth:`calibrate`, possibly cached)
+        skips the scale computation entirely; the caller is responsible for
+        the calibration actually matching this mechanism, query, and data —
+        the engine's cache key construction guarantees that.
         """
         gen = resolve_rng(rng)
         values = getattr(data, "concatenated", data)
         true_value = query(values)
-        scale = self.noise_scale(query, data)
+        if calibration is None:
+            calibration = self.calibrate(query, data)
+        scale = calibration.scale
         if query.output_dim == 1:
             noisy: float | np.ndarray = float(true_value) + float(sample_laplace(scale, None, gen))
         else:
@@ -123,5 +253,5 @@ class Mechanism(ABC):
             noise_scale=scale,
             epsilon=self.epsilon,
             mechanism=self.name,
-            details=self.scale_details(query, data),
+            details=dict(calibration.details),
         )

@@ -129,6 +129,20 @@ class MarkovQuiltMechanism(Mechanism):
         self.quilt_sets = quilt_sets
         self._sigma_cache: dict[str, tuple[float, MarkovQuilt]] = {}
 
+    def calibration_fingerprint(self) -> tuple:
+        """Theta (every network content-hashed), epsilon, and the candidate
+        quilt sets (which bound the search and therefore the chosen sigma)."""
+        quilts = tuple(
+            (node, tuple(tuple(sorted(q.quilt)) for q in candidates))
+            for node, candidates in sorted(self.quilt_sets.items())
+        )
+        return (
+            "MarkovQuilt",
+            self.epsilon,
+            tuple(network.fingerprint() for network in self.networks),
+            quilts,
+        )
+
     def sigma_for_node(self, node: str) -> tuple[float, MarkovQuilt]:
         """``(sigma_i, active quilt)`` for one node (Definition 4.5)."""
         if node not in self._sigma_cache:

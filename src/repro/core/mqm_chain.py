@@ -401,6 +401,20 @@ class MQMExact(Mechanism):
         self._table_cache: dict[tuple[int, int], tuple] = {}
 
     # -- public API ----------------------------------------------------
+    def calibration_fingerprint(self) -> tuple:
+        """Everything the noise scale depends on besides query and lengths:
+        the family Theta (content-hashed), epsilon, and the two search knobs
+        (``max_window`` changes which quilts are considered; the
+        ``restrict_support`` variant computes a different — tighter — Eq. (5)
+        maximum)."""
+        return (
+            "MQMExact",
+            self.epsilon,
+            self.family.fingerprint(),
+            self.max_window,
+            self.restrict_support,
+        )
+
     def with_epsilon(self, epsilon: float) -> "MQMExact":
         """A copy of this mechanism at a different privacy level.
 
@@ -418,6 +432,27 @@ class MQMExact(Mechanism):
         )
         clone._table_cache = self._table_cache
         return clone
+
+    def export_calibration_state(self) -> dict:
+        """JSON-safe snapshot of the per-length-set sigma results.
+
+        The serving layer stores this alongside the cached scale so that a
+        warm (possibly on-disk) cache entry can restore the mechanism's
+        internal memo via :meth:`warm_start` — subsequent ``sigma_max`` calls
+        for the same length sets then cost a dictionary lookup instead of a
+        quilt search.  Only valid under an identical
+        :meth:`calibration_fingerprint`.
+        """
+        return {
+            "sigma_by_lengths": [
+                [list(key), float(value)] for key, value in self._sigma_cache.items()
+            ]
+        }
+
+    def warm_start(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_calibration_state`."""
+        for key, value in state.get("sigma_by_lengths", []):
+            self._sigma_cache[tuple(int(n) for n in key)] = float(value)
 
     def sigma_sweep(
         self, lengths: Iterable[int] | int, epsilons: Iterable[float]
@@ -658,6 +693,28 @@ class MQMApprox(Mechanism):
         if reversible and getattr(self.family, "reversible", False):
             return self.family.eigengap()
         return min(chain.eigengap(reversible=reversible) for chain in self.family.chains())
+
+    # -- calibration identity ---------------------------------------------
+    def calibration_fingerprint(self) -> tuple:
+        """Lemma 4.8's bound reads the family only through ``pi_min`` and the
+        eigengap, so those two scalars (plus epsilon) are the *complete*
+        calibration identity — two different families with the same mixing
+        parameters genuinely share every MQMApprox noise scale."""
+        return ("MQMApprox", self.epsilon, self.pi_min, self.gap)
+
+    def export_calibration_state(self) -> dict:
+        """JSON-safe snapshot of the per-length sigma table (see
+        :meth:`MQMExact.export_calibration_state`)."""
+        return {
+            "sigma_by_length": [
+                [int(length), float(value)] for length, value in self._sigma_cache.items()
+            ]
+        }
+
+    def warm_start(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_calibration_state`."""
+        for length, value in state.get("sigma_by_length", []):
+            self._sigma_cache[int(length)] = float(value)
 
     # -- closed-form influence bounds -----------------------------------
     def _delta(self, t: np.ndarray | float) -> np.ndarray | float:

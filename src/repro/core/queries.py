@@ -19,6 +19,8 @@ The two workhorse queries of the paper:
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from abc import ABC, abstractmethod
 from typing import Callable
 
@@ -44,6 +46,84 @@ class Query(ABC):
         """Human-readable rendering used in reports."""
         return f"{type(self).__name__}(L={self.lipschitz:g}, k={self.output_dim})"
 
+    def signature(self) -> tuple:
+        """Stable, hashable identity of this query for calibration caching.
+
+        Two queries with equal signatures must compute the same function with
+        the same Lipschitz constant — the serving layer reuses cached noise
+        scales across query *objects* whose signatures match, so a collision
+        between genuinely different queries would be a privacy bug.  The
+        default covers queries fully described by their scalar attributes;
+        queries wrapping arbitrary callables override it (see
+        :meth:`ScalarQuery.signature`).
+        """
+        items = tuple(
+            (key, value)
+            for key, value in sorted(self.__dict__.items())
+            if not key.startswith("_")
+            and isinstance(value, (int, float, str, bool, type(None)))
+        )
+        return (type(self).__name__, items)
+
+
+#: Monotonic tokens for anonymous callables.  A token is assigned once per
+#: function object (weakly, so queries do not pin their callables alive) and
+#: is never reused within the process — unlike ``id()``, whose values recycle
+#: after garbage collection, which would let a *different* lambda alias a
+#: cached calibration that outlived the first one.
+_ANONYMOUS_COUNTER = itertools.count()
+_ANONYMOUS_TOKENS: "weakref.WeakKeyDictionary[Callable, int]" = weakref.WeakKeyDictionary()
+
+
+def _anonymous_token(func: Callable) -> int:
+    try:
+        token = _ANONYMOUS_TOKENS.get(func)
+        if token is None:
+            token = next(_ANONYMOUS_COUNTER)
+            _ANONYMOUS_TOKENS[func] = token
+        return token
+    except TypeError:  # not weak-referenceable; settle for its address
+        return id(func)
+
+
+def _callable_token(func: Callable | None) -> tuple:
+    """Identity token for a wrapped callable inside a query signature.
+
+    Named functions are identified by module-qualified name, which is stable
+    across processes (and therefore usable by the on-disk calibration cache).
+    Lambdas and local closures all share the qualname ``<lambda>`` / a
+    ``<locals>`` scope, so their token additionally includes a process-unique
+    counter value: two different anonymous functions can never alias one
+    cache entry, at the cost of making their entries process-local.
+    """
+    if func is None:
+        return ("none",)
+    qualname = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        # The ("id", ...) tag marks this signature as process-local; the
+        # serving layer salts such keys so shared caches cannot alias them,
+        # and process-local signatures are excluded from serialized state
+        # (see signature_is_process_local).
+        return (qualname, ("id", _anonymous_token(func)))
+    return (qualname,)
+
+
+def signature_is_process_local(signature: object) -> bool:
+    """Whether a query signature embeds a process-local ``("id", ...)`` tag.
+
+    Such signatures must never be written unsalted into storage shared
+    across processes (cache keys are salted by the serving layer; serialized
+    mechanism state must skip them entirely)."""
+    if isinstance(signature, tuple):
+        if (
+            len(signature) == 2
+            and signature[0] == "id"
+            and isinstance(signature[1], int)
+        ):
+            return True
+        return any(signature_is_process_local(part) for part in signature)
+    return False
+
 
 class ScalarQuery(Query):
     """Wrap an arbitrary scalar function with a declared Lipschitz constant.
@@ -59,6 +139,9 @@ class ScalarQuery(Query):
 
     def __call__(self, data: np.ndarray) -> float:
         return float(self._func(np.asarray(data)))
+
+    def signature(self) -> tuple:
+        return ("ScalarQuery", self.lipschitz, _callable_token(self._func))
 
 
 class StateFrequencyQuery(Query):
@@ -126,6 +209,9 @@ class CountQuery(Query):
         if self._predicate is None:
             return float(np.sum(data))
         return float(np.sum(self._predicate(data)))
+
+    def signature(self) -> tuple:
+        return ("CountQuery", _callable_token(self._predicate))
 
 
 class SumQuery(Query):

@@ -114,6 +114,7 @@ class DiscreteBayesianNetwork:
         self._parents[name] = tuple(parents)
         self._cpds[name] = table / table.sum(axis=-1, keepdims=True)
         self._order.append(name)
+        self._fingerprint = None  # content changed; re-hash on next request
 
     @classmethod
     def chain(cls, initial: np.ndarray, transition: np.ndarray, length: int) -> "DiscreteBayesianNetwork":
@@ -129,6 +130,27 @@ class DiscreteBayesianNetwork:
         for t in range(2, length + 1):
             net.add_node(f"X{t}", k, parents=[f"X{t-1}"], cpd=transition)
         return net
+
+    def fingerprint(self) -> str:
+        """Content hash of the full network (DAG + CPDs).
+
+        Two networks with equal fingerprints are numerically identical, so a
+        calibration computed against one is valid for the other; used by the
+        serving layer's cache keys.  Memoized; :meth:`add_node` invalidates
+        the memo so a network grown after fingerprinting re-hashes.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in self._order:
+            digest.update(f"{name}:{self._states[name]}:".encode())
+            digest.update(",".join(self._parents[name]).encode())
+            digest.update(np.ascontiguousarray(self._cpds[name], dtype=np.float64).tobytes())
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Structure queries

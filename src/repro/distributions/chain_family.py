@@ -72,6 +72,23 @@ class ChainFamily(ABC):
                 f"aperiodic (pi_min={self.pi_min():.3g}, g={self.eigengap():.3g})"
             )
 
+    def fingerprint(self) -> tuple:
+        """Hashable content identity of the family (the Theta component of a
+        calibration-cache key).  Equal fingerprints must mean numerically
+        identical families; the default hashes every representative chain
+        (memoized — members never change after construction), so continuum
+        families with closed-form parameters should override it with those
+        parameters instead."""
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                type(self).__name__,
+                self.free_initial,
+                tuple(chain.fingerprint() for chain in self.chains()),
+            )
+            self._fingerprint = cached
+        return cached
+
 
 class FiniteChainFamily(ChainFamily):
     """An explicit, finite set of chains ``{theta_1, ..., theta_m}``.
@@ -206,6 +223,11 @@ class IntervalChainFamily(ChainFamily):
     def eigengap(self) -> float:
         second = max(abs(2.0 * self.beta - 1.0), abs(2.0 * self.alpha - 1.0))
         return float(2.0 * (1.0 - second))
+
+    def fingerprint(self) -> tuple:
+        """Closed-form identity: the interval and grid fully determine the
+        family, so hashing the (large) chain grid is unnecessary."""
+        return ("IntervalChainFamily", self.alpha, self.beta, self.grid_step)
 
     def sample_theta(self, rng: np.random.Generator) -> MarkovChain:
         """Draw a chain per the paper's data-generation protocol: ``p0, p1``

@@ -70,6 +70,7 @@ class MarkovChain:
         self._powers: list[np.ndarray] = [np.eye(self.n_states)]
         self._marginals: list[np.ndarray] = [self.initial.copy()]
         self._stationary: np.ndarray | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -82,6 +83,26 @@ class MarkovChain:
     def with_initial(self, initial: Sequence[float] | np.ndarray) -> "MarkovChain":
         """A copy of this chain with a different initial distribution."""
         return MarkovChain(initial, self.transition, self.state_labels)
+
+    def fingerprint(self) -> str:
+        """Content hash of ``(q, P)`` — the full identity of this theta.
+
+        Two chains with equal fingerprints are numerically identical (same
+        exact float64 entries), so any calibration computed against one is
+        valid for the other.  Used as the distribution-class component of
+        mechanism calibration fingerprints in :mod:`repro.serving`.  Memoized
+        — ``(q, P)`` never change after construction.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self.initial, dtype=np.float64).tobytes())
+            digest.update(
+                np.ascontiguousarray(self.transition, dtype=np.float64).tobytes()
+            )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def with_stationary_initial(self) -> "MarkovChain":
         """A copy of this chain started from its stationary distribution."""

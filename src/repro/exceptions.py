@@ -29,6 +29,17 @@ class PrivacyParameterError(ReproError, ValueError):
     """
 
 
+class BudgetExhaustedError(PrivacyParameterError):
+    """Raised when a release would push the composed privacy guarantee past
+    the configured epsilon budget.
+
+    Subclasses :class:`PrivacyParameterError` so existing callers that treat
+    budget overruns as parameter errors keep working; new callers (the
+    serving layer) can catch this type specifically to distinguish "budget
+    spent" from "bad epsilon".
+    """
+
+
 class NotApplicableError(ReproError, RuntimeError):
     """Raised when a mechanism does not apply to the given instantiation.
 

@@ -1,0 +1,40 @@
+"""Serving layer: calibrate once, release many.
+
+This package adapts the paper's one-shot mechanisms to a serving workload
+(fixed instantiation, heavy release traffic) — the operational setting that
+the composition literature on Pufferfish privacy treats as central.
+
+* :class:`PrivacyEngine` — wraps any mechanism; cached calibration, batched
+  vectorized releases, enforced epsilon budget.
+* :class:`CalibrationCache` — memoizes noise-scale computations, keyed on
+  content fingerprints (see :mod:`repro.serving.fingerprint`).
+* Backends: :class:`InMemoryLRUCache` (default) and :class:`JSONFileCache`
+  (persists calibrations across processes).
+"""
+
+from repro.serving.cache import (
+    CacheBackend,
+    CalibrationCache,
+    InMemoryLRUCache,
+    JSONFileCache,
+)
+from repro.serving.engine import PrivacyEngine, warm_engines
+from repro.serving.fingerprint import (
+    cache_key,
+    data_signature,
+    mechanism_fingerprint,
+    query_signature,
+)
+
+__all__ = [
+    "CacheBackend",
+    "CalibrationCache",
+    "InMemoryLRUCache",
+    "JSONFileCache",
+    "PrivacyEngine",
+    "cache_key",
+    "data_signature",
+    "mechanism_fingerprint",
+    "query_signature",
+    "warm_engines",
+]

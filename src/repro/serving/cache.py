@@ -1,0 +1,243 @@
+"""Calibration cache: pluggable backends plus the keyed front-end.
+
+The expensive half of every mechanism (the noise-scale computation) is
+memoized here.  Backends store JSON-safe payloads keyed by the opaque string
+keys of :mod:`repro.serving.fingerprint`:
+
+* :class:`InMemoryLRUCache` — a bounded, process-local LRU; the default.
+* :class:`JSONFileCache` — a write-through on-disk store so calibrations
+  survive process restarts (the "warm start a new server replica" path).
+
+:class:`CalibrationCache` ties a backend to the key construction and tracks
+hit/miss statistics.  It never invents keys: a calibration is only ever
+returned for exactly the (mechanism fingerprint, query signature, data
+signature, epsilon) combination it was computed under — see
+``docs/architecture.md`` for why anything looser would be a privacy bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.core.laplace import Calibration, Mechanism
+from repro.core.queries import Query
+from repro.exceptions import ValidationError
+from repro.serving.fingerprint import cache_key
+
+
+class CacheBackend(ABC):
+    """Minimal key-value store for JSON-safe calibration payloads."""
+
+    @abstractmethod
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload, or ``None`` on a miss."""
+
+    @abstractmethod
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store (or overwrite) one payload."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    def clear(self) -> None:  # pragma: no cover - overridden where used
+        """Drop every entry (optional for backends)."""
+        raise NotImplementedError
+
+
+class InMemoryLRUCache(CacheBackend):
+    """Bounded in-memory LRU backend (thread-safe).
+
+    Parameters
+    ----------
+    max_entries:
+        Eviction threshold.  Calibration payloads are tiny (a scale plus
+        diagnostics), so the default comfortably covers thousands of distinct
+        (family, query, epsilon) combinations.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+            return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class JSONFileCache(CacheBackend):
+    """Write-through JSON file backend.
+
+    The whole store is one JSON object ``{key: payload}``.  Writes go through
+    an atomic replace (write to a sibling temp file, then ``os.replace``) so
+    a crash mid-write never corrupts the store, and each flush re-reads the
+    file and merges its current contents under this process's entries — two
+    processes sharing one cache file therefore accumulate each other's
+    calibrations instead of clobbering them.  (Merging is safe because
+    entries are content-keyed and deterministic: both writers can only ever
+    hold the same value for the same key.)  Suitable for the calibration
+    workload — hundreds of entries, written once and read many times — not
+    as a general-purpose database.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict[str, Any]] = {}
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise ValidationError(
+                    f"calibration cache file {self.path} is unreadable: {error}"
+                ) from error
+            if not isinstance(loaded, dict):
+                raise ValidationError(
+                    f"calibration cache file {self.path} must hold a JSON object"
+                )
+            self._entries = loaded
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._flush_locked(merge=True)
+
+    def _flush_locked(self, *, merge: bool = False) -> None:
+        if merge and self.path.exists():
+            # Pick up entries other processes persisted since our last read;
+            # our own entries win (values for a shared key are identical by
+            # construction — content-keyed, deterministic computation).
+            try:
+                on_disk = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):  # torn read: ours survive
+                on_disk = {}
+            if isinstance(on_disk, dict):
+                merged = dict(on_disk)
+                merged.update(self._entries)
+                self._entries = merged
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(self._entries, stream)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+            raise
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._flush_locked()
+
+
+class CalibrationCache:
+    """Keyed front-end: memoizes :meth:`Mechanism.calibrate` results.
+
+    Parameters
+    ----------
+    backend:
+        Where payloads live; defaults to a fresh :class:`InMemoryLRUCache`.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup statistics since construction (or :meth:`reset_stats`).
+    """
+
+    def __init__(self, backend: CacheBackend | None = None) -> None:
+        self.backend = backend if backend is not None else InMemoryLRUCache()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, mechanism: Mechanism, query: Query, data: Any) -> str:
+        """The cache key this triple resolves to (exposed for testing)."""
+        return cache_key(mechanism, query, data)
+
+    def get(self, mechanism: Mechanism, query: Query, data: Any) -> Calibration | None:
+        """Cached calibration for the triple, or ``None``."""
+        payload = self.backend.get(self.key_for(mechanism, query, data))
+        if payload is None:
+            return None
+        return Calibration.from_payload(payload)
+
+    def get_or_compute(
+        self, mechanism: Mechanism, query: Query, data: Any
+    ) -> tuple[Calibration, bool]:
+        """``(calibration, was_hit)`` — computing and storing on a miss.
+
+        On a hit, a mechanism exposing ``warm_start`` is handed the stored
+        internal state (the per-length sigma tables of the chain mechanisms,
+        the ``W`` bounds of the Wasserstein Mechanism), so even its *direct*
+        ``noise_scale`` calls become lookups afterwards.  On a miss, the
+        mechanism's exported state rides along with the payload.
+        """
+        key = self.key_for(mechanism, query, data)
+        payload = self.backend.get(key)
+        if payload is not None:
+            self.hits += 1
+            calibration = Calibration.from_payload(payload)
+            state = payload.get("state")
+            if state and hasattr(mechanism, "warm_start"):
+                mechanism.warm_start(state)
+            return calibration, True
+        self.misses += 1
+        calibration = mechanism.calibrate(query, data)
+        stored = calibration.to_payload()
+        if hasattr(mechanism, "export_calibration_state"):
+            stored["state"] = mechanism.export_calibration_state()
+        self.backend.put(key, stored)
+        return calibration, False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.backend)

@@ -1,0 +1,100 @@
+"""Cache-key construction for the serving layer.
+
+A calibration is reusable exactly when *everything the noise scale depends
+on* is unchanged: the mechanism (with its distribution class Theta, its
+epsilon, and any search knobs), the query, and the shape of the data the
+chain mechanisms calibrate against (the multiset of segment lengths — never
+the record values, which the scale computation must not read).  This module
+turns those four components into a stable string key.
+
+Design rule (see ``docs/architecture.md`` for the full ADR): **an over-coarse
+key is a privacy bug, an over-fine key is only a cache miss.**  Every
+fallback in this module therefore errs toward uniqueness:
+
+* mechanisms without a content-based :meth:`~repro.core.laplace.Mechanism.
+  calibration_fingerprint` fingerprint as their instance identity, salted
+  with a per-process token so entries can never be confused across processes
+  sharing one on-disk cache;
+* queries wrapping anonymous callables include ``id(func)`` in their
+  signature (two different lambdas never alias);
+* datasets fingerprint as their full sorted length multiset, which every
+  mechanism's scale computation is invariant to, even though most read less.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+from typing import Any
+
+import numpy as np
+
+from repro.core.laplace import Mechanism
+from repro.core.queries import Query, signature_is_process_local
+
+#: Per-process salt for identity-based (non-content) fingerprints.  Two
+#: processes writing to one shared JSON cache can therefore never alias each
+#: other's uncacheable-by-content mechanisms.
+_PROCESS_SALT = uuid.uuid4().hex
+
+
+def mechanism_fingerprint(mechanism: Mechanism) -> tuple:
+    """The mechanism component of a cache key.
+
+    Uses the mechanism's own :meth:`~repro.core.laplace.Mechanism.
+    calibration_fingerprint`.  The base-class implementation embeds
+    ``id(self)``; to keep that safe across interpreter lifetimes (ids are
+    reused after garbage collection only for *dead* objects, but a JSON cache
+    outlives the process) the per-process salt is appended whenever an
+    ``("instance", ...)`` marker is present.
+    """
+    fingerprint = mechanism.calibration_fingerprint()
+    if any(
+        isinstance(part, tuple) and part and part[0] == "instance" for part in fingerprint
+    ):
+        fingerprint = fingerprint + (("process", _PROCESS_SALT),)
+    return fingerprint
+
+
+def query_signature(query: Query) -> tuple:
+    """The query component of a cache key (see :meth:`Query.signature`)."""
+    signature = query.signature()
+    # Signatures containing anonymous-callable tokens (tagged ``("id", ...)``
+    # by the query layer) are process-local; salt them so a shared on-disk
+    # cache cannot alias them either.
+    if signature_is_process_local(signature):
+        signature = signature + (("process", _PROCESS_SALT),)
+    return signature
+
+
+def data_signature(data: Any) -> tuple:
+    """The data-shape component of a cache key.
+
+    Noise scales in this library depend on the data only through its segment
+    structure: MQM reads the set of segment lengths, GroupDP the longest
+    segment, the DP baselines and the Wasserstein Mechanism nothing at all.
+    Fingerprinting the full sorted length multiset is therefore always
+    sufficient (never under-keys any mechanism) at worst costing misses for
+    mechanisms that read less.
+    """
+    lengths = getattr(data, "segment_lengths", None)
+    if lengths:
+        return ("segments", tuple(sorted(int(n) for n in lengths)))
+    return ("array", int(np.asarray(data).size))
+
+
+def cache_key(mechanism: Mechanism, query: Query, data: Any) -> str:
+    """Deterministic string key for one (mechanism, query, data) triple.
+
+    Epsilon is part of every mechanism fingerprint but is appended once more
+    explicitly — the cost is zero and it makes the "epsilon changed, so the
+    entry missed" property independent of any subclass's fingerprint
+    discipline.
+    """
+    parts = (
+        mechanism_fingerprint(mechanism),
+        query_signature(query),
+        data_signature(data),
+        float(mechanism.epsilon),
+    )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
