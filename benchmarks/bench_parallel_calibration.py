@@ -1,0 +1,80 @@
+"""Benchmark E8 — sharded versus serial calibration wall time.
+
+The workload is the Table 2 synthetic calibration sweep (one MQMExact per
+``(p0, p1)`` grid chain — the per-theta unit the paper times), calibrated
+once serially and once sharded across 4 worker processes by
+:class:`repro.parallel.ParallelCalibrator`.  Two assertions:
+
+* **Correctness, always**: the sharded scales are bit-identical to the
+  serial ones — a mismatch is a calibration bug, not a performance result.
+* **Speedup, when the hardware can show it**: with >= 4 physical cores the
+  sharded sweep must be at least 2x faster than serial.  On smaller hosts
+  the speedup test is skipped (process parallelism cannot beat serial on a
+  single core) but the run is still recorded.
+
+The recorded artifact is ``results/parallel_calibration.json``, matching
+the shape of ``python -m repro calibrate``.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.recording import RESULTS_DIR, record
+from repro.experiments.table2_runtime import parallel_sweep_timings, sweep_workload
+from repro.parallel import ParallelCalibrator
+
+WORKERS = 4
+GRID_POINTS = 9  # the paper's p0, p1 in {0.1, 0.11, ..., 0.9} resolution
+LENGTH = 100
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    report = parallel_sweep_timings(
+        WORKERS, epsilon=1.0, length=LENGTH, grid_points=GRID_POINTS
+    )
+    report["cpu_count"] = os.cpu_count()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_calibration.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    record("parallel_calibration", json.dumps(report, indent=2))
+    return report
+
+
+def test_sharded_sweep_is_bit_identical(sweep_report):
+    """Acceptance (correctness half): identical sigma values, always."""
+    assert sweep_report["bit_identical"] is True
+    assert sweep_report["n_shards"] == GRID_POINTS * GRID_POINTS
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"needs >= {WORKERS} cores to demonstrate the speedup floor",
+)
+def test_sharded_sweep_speedup(sweep_report):
+    """Acceptance (performance half): >= 2x with 4 workers on >= 4 cores."""
+    assert sweep_report["speedup"] >= SPEEDUP_FLOOR
+
+
+def test_serial_sweep_rate(benchmark):
+    def serial():
+        mechanisms, query, data = sweep_workload(1.0, LENGTH, GRID_POINTS)
+        return [m.calibrate(query, data).scale for m in mechanisms]
+
+    scales = benchmark.pedantic(serial, rounds=2, iterations=1)
+    assert len(scales) == GRID_POINTS * GRID_POINTS
+
+
+def test_sharded_sweep_rate(benchmark):
+    calibrator = ParallelCalibrator(max_workers=WORKERS, min_parallel_cost=0.0)
+
+    def sharded():
+        mechanisms, query, data = sweep_workload(1.0, LENGTH, GRID_POINTS)
+        return calibrator.calibrate_many(mechanisms, query, data)
+
+    calibrations = benchmark.pedantic(sharded, rounds=2, iterations=1)
+    assert len(calibrations) == GRID_POINTS * GRID_POINTS

@@ -1,0 +1,51 @@
+"""CI gate: every benchmark script must at least import.
+
+Benchmarks are not collected by the tier-1 suite (``bench_*.py`` naming), so
+a refactor can silently break them.  This script imports each module under
+``benchmarks/`` (which executes its module level: imports, constants,
+fixture definitions — not the timed bodies) and fails loudly on the first
+error.  Run from the repository root; also exercised as a tier-1 test by
+``tests/test_benchmarks_import.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def benchmark_modules() -> list[str]:
+    """Dotted module names for every ``benchmarks/*.py`` file."""
+    return sorted(
+        f"benchmarks.{path.stem}"
+        for path in (ROOT / "benchmarks").glob("*.py")
+        if path.stem != "__init__"
+    )
+
+
+def main() -> int:
+    # The repo root (for the ``benchmarks`` namespace package) and ``src``
+    # (for ``repro``) must both be importable, however the script is invoked.
+    for entry in (str(ROOT), str(ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    failures = []
+    for name in benchmark_modules():
+        try:
+            importlib.import_module(name)
+            print(f"ok: {name}")
+        except Exception as error:  # noqa: BLE001 - report every breakage
+            failures.append((name, error))
+            print(f"FAIL: {name}: {error!r}")
+    if failures:
+        print(f"{len(failures)} benchmark module(s) failed to import")
+        return 1
+    print(f"all {len(benchmark_modules())} benchmark modules import cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ from repro.core import (
     wasserstein_bound,
 )
 from repro.data import StudyGroup, TimeSeriesDataset
+from repro.parallel import ParallelCalibrator
 from repro.serving import (
     CalibrationCache,
     InMemoryLRUCache,
@@ -93,6 +94,7 @@ __all__ = [
     "MarkovChainModel",
     "MarkovQuiltMechanism",
     "Mechanism",
+    "ParallelCalibrator",
     "PrivacyEngine",
     "PrivateRelease",
     "PufferfishInstantiation",

@@ -12,6 +12,10 @@ Commands
     Quick cold-versus-warm serving demonstration: releases/second with
     per-release recalibration versus a warm :class:`repro.serving.
     PrivacyEngine`, printed as JSON.
+``calibrate``
+    Run the Table 2 synthetic calibration sweep serially and sharded across
+    ``--workers`` processes (:class:`repro.parallel.ParallelCalibrator`),
+    printing wall times, the speedup, and the bit-identity check as JSON.
 ``info``
     Print version and the experiment inventory.
 """
@@ -134,6 +138,23 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.table2_runtime import parallel_sweep_timings
+
+    report = parallel_sweep_timings(
+        args.workers,
+        epsilon=args.epsilon,
+        length=args.length,
+        grid_points=args.grid_points,
+    )
+    print(json.dumps(report, indent=2))
+    # A scale mismatch between the serial and sharded paths would be a
+    # correctness bug, not a performance result — fail loudly.
+    return 0 if report["bit_identical"] else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
 
@@ -172,6 +193,22 @@ def main(argv: list[str] | None = None) -> int:
     p_tp.add_argument("--window", type=positive_int, default=64)
     p_tp.add_argument("--releases", type=positive_int, default=1000)
     p_tp.set_defaults(func=_cmd_throughput)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="serial vs sharded calibration of the Table 2 sweep (JSON output)",
+    )
+    p_cal.add_argument(
+        "--workers", type=positive_int, default=None,
+        help="worker processes for the sharded run (default: CPU count)",
+    )
+    p_cal.add_argument("--epsilon", type=float, default=1.0)
+    p_cal.add_argument("--length", type=positive_int, default=100)
+    p_cal.add_argument(
+        "--grid-points", type=positive_int, default=5,
+        help="per-axis (p0, p1) grid resolution; the paper's Table 2 uses 9",
+    )
+    p_cal.set_defaults(func=_cmd_calibrate)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(func=_cmd_info)

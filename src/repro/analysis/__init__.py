@@ -3,7 +3,7 @@ numeric Pufferfish verification."""
 
 from repro.analysis.metrics import expected_l1_laplace, l1_error
 from repro.analysis.reporting import Table, format_series
-from repro.analysis.runner import TrialResult, run_release_trials
+from repro.analysis.runner import TrialResult, run_mechanism_suite, run_release_trials
 from repro.analysis.verification import VerificationReport, verify_pufferfish
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "expected_l1_laplace",
     "format_series",
     "l1_error",
+    "run_mechanism_suite",
     "run_release_trials",
     "verify_pufferfish",
 ]

@@ -181,7 +181,13 @@ class Mechanism(ABC):
         """Optional diagnostics attached to releases (override as needed)."""
         return {}
 
-    def calibrate(self, query: Query, data: np.ndarray) -> Calibration:
+    def calibrate(
+        self,
+        query: Query,
+        data: np.ndarray,
+        *,
+        parallel: "bool | int | ParallelCalibrator | None" = None,  # noqa: F821
+    ) -> Calibration:
         """The expensive half of a release, as an explicit step.
 
         Runs the mechanism's scale computation (support enumeration, quilt
@@ -189,7 +195,19 @@ class Mechanism(ABC):
         passed back to :meth:`release` any number of times — or cached by a
         :class:`repro.serving.CalibrationCache` keyed on
         :meth:`calibration_fingerprint`.
+
+        ``parallel`` shards the computation across worker processes via
+        :class:`repro.parallel.ParallelCalibrator` (``True`` for one worker
+        per core, an int for an explicit worker count, or a calibrator
+        instance).  The result is bit-identical to the serial computation;
+        mechanisms without a shard decomposition ignore the option.
         """
+        if parallel is not None and parallel is not False:
+            from repro.parallel import as_calibrator
+
+            calibrator = as_calibrator(parallel)
+            if calibrator is not None:
+                return calibrator.calibrate(self, query, data)
         return Calibration(
             scale=float(self.noise_scale(query, data)),
             epsilon=self.epsilon,

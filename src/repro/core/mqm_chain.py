@@ -29,6 +29,7 @@ the right-only quilt ``{X_{t+b}}`` has ``t + b``; the trivial quilt has
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Iterable
 
@@ -701,6 +702,25 @@ class MQMApprox(Mechanism):
         calibration identity — two different families with the same mixing
         parameters genuinely share every MQMApprox noise scale."""
         return ("MQMApprox", self.epsilon, self.pi_min, self.gap)
+
+    def with_epsilon(self, epsilon: float) -> "MQMApprox":
+        """A copy of this mechanism at a different privacy level.
+
+        ``pi_min`` and the eigengap do not depend on epsilon, so they are
+        transferred rather than recomputed — bit-identical mixing parameters
+        across a sweep, and no per-level eigendecomposition.
+        """
+        clone = copy.copy(self)
+        Mechanism.__init__(clone, epsilon)
+        clone._sigma_cache = {}
+        return clone
+
+    def sigma_sweep(
+        self, lengths: Iterable[int] | int, epsilons: Iterable[float]
+    ) -> dict[float, float]:
+        """``sigma_max`` for several privacy levels (cf.
+        :meth:`MQMExact.sigma_sweep`)."""
+        return {eps: self.with_epsilon(eps).sigma_max(lengths) for eps in epsilons}
 
     def export_calibration_state(self) -> dict:
         """JSON-safe snapshot of the per-length sigma table (see

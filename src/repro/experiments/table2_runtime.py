@@ -41,6 +41,68 @@ def time_call(func) -> float:
     return time.perf_counter() - start
 
 
+def sweep_workload(
+    epsilon: float = 1.0, length: int = 100, grid_points: int = 9
+) -> tuple[list[MQMExact], StateFrequencyQuery, np.ndarray]:
+    """The Table 2 synthetic calibration sweep as a multi-mechanism workload.
+
+    One ``MQMExact`` per grid chain (the per-theta unit the paper times),
+    plus the query and data they calibrate against.  This is the workload
+    ``benchmarks/bench_parallel_calibration.py`` and ``python -m repro
+    calibrate`` shard across workers.
+    """
+    grid = np.linspace(0.1, 0.9, grid_points)
+    query = StateFrequencyQuery(1, length)
+    data = np.zeros(length, dtype=np.int64)
+    mechanisms = [
+        MQMExact(
+            FiniteChainFamily.singleton(
+                MarkovChain(
+                    IntervalChainFamily.stationary_for(float(p0), float(p1)),
+                    IntervalChainFamily.transition_for(float(p0), float(p1)),
+                )
+            ),
+            epsilon,
+            max_window=length,
+        )
+        for p0 in grid
+        for p1 in grid
+    ]
+    return mechanisms, query, data
+
+
+def parallel_sweep_timings(
+    workers: int | None, epsilon: float = 1.0, length: int = 100, grid_points: int = 9
+) -> dict[str, float | bool | int]:
+    """Serial-versus-sharded wall time for the synthetic calibration sweep.
+
+    Runs the identical per-theta MQMExact calibrations once serially and
+    once sharded across ``workers`` processes, and checks the resulting
+    scales are bit-identical (they must be — see
+    ``docs/architecture.md``).
+    """
+    from repro.parallel import ParallelCalibrator
+
+    mechanisms, query, data = sweep_workload(epsilon, length, grid_points)
+    serial_seconds = time_call(
+        lambda: [m.calibrate(query, data) for m in mechanisms]
+    )
+    serial_scales = [m.calibrate(query, data).scale for m in mechanisms]
+
+    fresh, query, data = sweep_workload(epsilon, length, grid_points)
+    calibrator = ParallelCalibrator(max_workers=workers, min_parallel_cost=0.0)
+    parallel_seconds = time_call(lambda: calibrator.calibrate_many(fresh, query, data))
+    parallel_scales = [m.calibrate(query, data).scale for m in fresh]
+    return {
+        "workers": calibrator.max_workers,
+        "n_shards": len(mechanisms),
+        "serial_seconds": float(serial_seconds),
+        "parallel_seconds": float(parallel_seconds),
+        "speedup": float(serial_seconds / parallel_seconds),
+        "bit_identical": serial_scales == parallel_scales,
+    }
+
+
 def synthetic_timings(
     epsilon: float = 1.0, length: int = 100, grid_points: int = 9
 ) -> dict[str, float | None]:
@@ -78,7 +140,12 @@ def synthetic_timings(
 
 
 def dataset_timings(
-    family, dataset, epsilon: float = 1.0, *, include_warm: bool = False
+    family,
+    dataset,
+    epsilon: float = 1.0,
+    *,
+    include_warm: bool = False,
+    workers: int | None = None,
 ) -> dict[str, float | None]:
     """Scale-computation time for one estimated-chain dataset.
 
@@ -86,7 +153,10 @@ def dataset_timings(
     mechanism — the cost measured is one cache-missing calibration, i.e. the
     quantity the paper's Table 2 reports.  With ``include_warm`` a second
     MQMExact engine sharing the first's cache is timed as
-    ``MQMExact(warm)``, showing what repeat traffic actually pays.
+    ``MQMExact(warm)``, showing what repeat traffic actually pays.  With
+    ``workers`` a third, cold engine is timed as ``MQMExact(parallel)`` —
+    the same calibration sharded per segment length across that many worker
+    processes (multi-segment datasets are where the shards exist).
     """
     query = RelativeFrequencyHistogram(dataset.n_states, dataset.n_observations)
     out: dict[str, float | None] = {}
@@ -105,6 +175,11 @@ def dataset_timings(
             MQMExact(family, epsilon, max_window=window), cache=exact.cache
         )
         out["MQMExact(warm)"] = time_call(lambda: warm.calibrate(query, dataset))
+    if workers is not None:
+        sharded = PrivacyEngine(
+            MQMExact(family, epsilon, max_window=window), parallel=workers
+        )
+        out["MQMExact(parallel)"] = time_call(lambda: sharded.calibrate(query, dataset))
     return out
 
 
@@ -113,36 +188,50 @@ def run(
     power: PowerConfig = FULL.power,
     *,
     include_power: bool = True,
+    workers: int | None = None,
 ) -> Table:
-    """Regenerate Table 2 (seconds per scale computation)."""
+    """Regenerate Table 2 (seconds per scale computation).
+
+    ``workers`` adds an ``MQMExact(parallel)`` row: the same calibrations
+    sharded across that many worker processes (bit-identical scales).
+    """
     rng = resolve_rng(activity.seed)
     columns = ["synthetic"]
     results: dict[str, dict[str, float | None]] = {"synthetic": synthetic_timings()}
     for group in generate_study(rng, scale=activity.scale):
         chain = empirical_chain(group, smoothing=activity.smoothing)
         family = FiniteChainFamily.singleton(chain)
-        results[group.name] = dataset_timings(family, group.pooled_dataset())
+        results[group.name] = dataset_timings(
+            family, group.pooled_dataset(), workers=workers
+        )
         columns.append(group.name)
     if include_power:
         dataset, _ = generate_power_dataset(power.length, resolve_rng(power.seed))
         chain = empirical_chain(dataset, smoothing=power.smoothing)
-        results["power"] = dataset_timings(FiniteChainFamily.singleton(chain), dataset)
+        results["power"] = dataset_timings(
+            FiniteChainFamily.singleton(chain), dataset, workers=workers
+        )
         columns.append("power")
     table = Table(
         "Table 2 — seconds to compute the Laplace scale (eps=1); "
         "paper values in repro.paperdata.TABLE2",
         ["mechanism", *columns],
     )
-    for mechanism in ("GK16", "MQMApprox", "MQMExact"):
+    mechanisms = ["GK16", "MQMApprox", "MQMExact"]
+    if workers is not None:
+        mechanisms.append("MQMExact(parallel)")
+    for mechanism in mechanisms:
         table.add_row(mechanism, [results[c].get(mechanism) for c in columns])
     return table
 
 
 def main(
-    activity: ActivityConfig = FULL.activity, power: PowerConfig = FULL.power
+    activity: ActivityConfig = FULL.activity,
+    power: PowerConfig = FULL.power,
+    workers: int | None = None,
 ) -> None:
     """Print measured timings next to the paper's."""
-    table = run(activity, power)
+    table = run(activity, power, workers=workers)
     print(table.render())
     print()
     paper = Table("Table 2 — paper-reported seconds", ["mechanism", *TABLE2["columns"]])

@@ -1,0 +1,159 @@
+"""Shard decomposition for parallel calibration.
+
+Every expensive calibration in this library is a maximum (or a dictionary)
+of *independent* sub-computations:
+
+* ``MQMExact.sigma_max`` maximizes ``_sigma_for_chain`` over ``(chain index,
+  segment length)`` pairs — each pair is one quilt search (Algorithm 3);
+* ``MQMApprox.sigma_max`` maximizes ``_sigma_for_length`` over the distinct
+  segment lengths (Algorithm 4's candidate search per length);
+* ``wasserstein_bound`` maximizes per-model suprema over the models of
+  ``Theta`` (Algorithm 1's outer loop);
+* an epsilon sweep evaluates ``sigma_max`` per privacy level;
+* a multi-mechanism trial run calibrates each mechanism separately.
+
+This module turns each of those sub-computations into a :class:`Shard` — a
+picklable, self-contained work item — plus a module-level :func:`run_shard`
+dispatcher that a ``ProcessPoolExecutor`` worker (or the in-process serial
+fallback) executes.  Determinism rule: a shard runs *exactly the code the
+serial path runs* on *exactly the inputs the serial path passes*, so every
+shard value is bit-identical to the serial intermediate, and the merge
+operations (float ``max`` and dictionary fill-in) are order-insensitive —
+which is what makes the parallel calibration bit-identical end to end (see
+``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Shard kinds understood by :func:`run_shard`.
+KIND_MQM_EXACT = "mqm-exact-chain-length"
+KIND_MQM_APPROX = "mqm-approx-length"
+KIND_WASSERSTEIN = "wasserstein-model"
+KIND_EPSILON = "epsilon-sweep"
+KIND_CALIBRATION = "mechanism-calibration"
+
+_KNOWN_KINDS = frozenset(
+    {
+        KIND_MQM_EXACT,
+        KIND_MQM_APPROX,
+        KIND_WASSERSTEIN,
+        KIND_EPSILON,
+        KIND_CALIBRATION,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of calibration work.
+
+    Attributes
+    ----------
+    kind:
+        Dispatch tag (one of the ``KIND_*`` constants).
+    key:
+        Merge key the parent uses to place the result — e.g. the segment
+        length for a per-length shard, the epsilon for a sweep shard.
+    payload:
+        Everything the worker needs, picklable.  Mechanism objects are
+        shipped as *pristine clones* (no warm tables) so the pickled payload
+        stays small.
+    """
+
+    kind: str
+    key: Any
+    payload: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KNOWN_KINDS:
+            raise ValidationError(f"unknown shard kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """Human-readable rendering for plans and logs."""
+        return f"{self.kind}[{self.key!r}]"
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """The outcome of one shard: ``(kind, key, value)``.
+
+    ``value`` is JSON-safe for the float-valued kinds; the
+    ``mechanism-calibration`` kind carries ``(calibration_payload, state)``
+    dictionaries (the exact objects the serving cache stores).
+    """
+
+    kind: str
+    key: Any
+    value: Any
+
+
+def _wasserstein_model_bound(instantiation, query, theta_index: int) -> float:
+    """Per-model supremum of Algorithm 1 — the body of the serial loop in
+    :func:`repro.core.wasserstein.wasserstein_bound` for one ``theta``."""
+    from repro.core.wasserstein import conditional_output_distribution
+    from repro.distributions.metrics import w_infinity
+
+    model = instantiation.models[theta_index]
+    cache: dict = {}
+
+    def conditional(secret):
+        if secret not in cache:
+            cache[secret] = conditional_output_distribution(model, query, secret)
+        return cache[secret]
+
+    supremum = 0.0
+    for pair in instantiation.admissible_pairs(model):
+        distance = w_infinity(conditional(pair.left), conditional(pair.right))
+        supremum = max(supremum, distance)
+    return float(supremum)
+
+
+def run_shard(shard: Shard) -> ShardResult:
+    """Execute one shard; runs in a worker process or inline (serial
+    fallback) — both paths produce the identical value by construction."""
+    if shard.kind == KIND_MQM_EXACT:
+        # The chain rides in the payload (chains pickle as their two small
+        # arrays) so workers never re-enumerate the family; the index is the
+        # serial enumeration position, used only for table-cache keying.
+        mechanism, chain, chain_index, length = shard.payload
+        value = float(mechanism._sigma_for_chain(chain_index, chain, length))
+        return ShardResult(shard.kind, shard.key, value)
+    if shard.kind == KIND_MQM_APPROX:
+        (mechanism,) = shard.payload
+        value = float(mechanism._sigma_for_length(int(shard.key)))
+        return ShardResult(shard.kind, shard.key, value)
+    if shard.kind == KIND_WASSERSTEIN:
+        instantiation, query, theta_index = shard.payload
+        value = _wasserstein_model_bound(instantiation, query, theta_index)
+        return ShardResult(shard.kind, shard.key, value)
+    if shard.kind == KIND_EPSILON:
+        mechanism, lengths = shard.payload
+        value = float(mechanism.with_epsilon(float(shard.key)).sigma_max(lengths))
+        return ShardResult(shard.kind, shard.key, value)
+    if shard.kind == KIND_CALIBRATION:
+        mechanism, query, data = shard.payload
+        calibration = mechanism.calibrate(query, data)
+        state = (
+            mechanism.export_calibration_state()
+            if hasattr(mechanism, "export_calibration_state")
+            else None
+        )
+        return ShardResult(shard.kind, shard.key, (calibration.to_payload(), state))
+    raise ValidationError(f"unknown shard kind {shard.kind!r}")  # pragma: no cover
+
+
+def segment_lengths_of(data: Any) -> tuple[int, ...]:
+    """The multiset of segment lengths a chain mechanism calibrates against
+    — the same rule ``noise_scale`` applies (``segment_lengths`` attribute,
+    else the flat array size)."""
+    lengths = getattr(data, "segment_lengths", None)
+    if lengths:
+        return tuple(int(n) for n in lengths)
+    return (int(np.asarray(data).size),)

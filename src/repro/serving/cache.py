@@ -17,6 +17,7 @@ signature, epsilon) combination it was computed under — see
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -24,7 +25,12 @@ import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Iterator
+
+try:  # POSIX advisory file locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.laplace import Calibration, Mechanism
 from repro.core.queries import Query
@@ -103,16 +109,28 @@ class JSONFileCache(CacheBackend):
     processes sharing one cache file therefore accumulate each other's
     calibrations instead of clobbering them.  (Merging is safe because
     entries are content-keyed and deterministic: both writers can only ever
-    hold the same value for the same key.)  Suitable for the calibration
-    workload — hundreds of entries, written once and read many times — not
-    as a general-purpose database.
+    hold the same value for the same key.)
+
+    The read-merge-replace sequence is serialized across writers — threads
+    *and* processes — by an exclusive ``fcntl`` lock on a ``<path>.lock``
+    sidecar; without it, two writers that both read before either replaced
+    would silently drop one side's entries (the lost-update race
+    ``tests/test_cache_concurrency.py`` hammers).  A miss in :meth:`get`
+    re-reads the file (when its stat changed) before answering, so entries
+    another process persisted after this backend was constructed are found
+    without a restart.  Suitable for the calibration workload — hundreds of
+    entries, written once and read many times — not as a general-purpose
+    database.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        self._lock_path = Path(str(self.path) + ".lock")
         self._lock = threading.Lock()
         self._entries: dict[str, dict[str, Any]] = {}
+        self._disk_stat: tuple[int, int] | None = None
         if self.path.exists():
+            stat_before = self._stat()  # before the read; see _read_disk_locked
             try:
                 loaded = json.loads(self.path.read_text())
             except (OSError, json.JSONDecodeError) as error:
@@ -124,13 +142,71 @@ class JSONFileCache(CacheBackend):
                     f"calibration cache file {self.path} must hold a JSON object"
                 )
             self._entries = loaded
+            self._disk_stat = stat_before
+
+    @contextlib.contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Exclusive cross-process lock held for a read-merge-replace cycle.
+
+        Advisory and cooperative: every writer in this codebase takes it.
+        The sidecar (never the data file itself) is locked so the atomic
+        ``os.replace`` of the data file cannot invalidate the locked fd.  On
+        platforms without ``fcntl`` this degrades to the merge-on-write
+        behavior, which shrinks the race window but cannot close it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self._lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._lock_path, "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _stat(self) -> tuple[int, int] | None:
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _read_disk_locked(self) -> None:
+        """Merge the file's current contents under our in-memory entries.
+
+        The stat is captured *before* the read: if another process replaces
+        the file in between, the recorded stat mismatches the new file and
+        the next miss re-reads (a harmless retry) — recording it after the
+        read could pair the new stat with the old contents and make the
+        newer entries permanently invisible to this process.
+        """
+        stat_before = self._stat()
+        try:
+            on_disk = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # Missing file, or (on non-POSIX hosts without the flock) a torn
+            # read: keep ours.
+            return
+        if isinstance(on_disk, dict):
+            merged = dict(on_disk)
+            merged.update(self._entries)
+            self._entries = merged
+        self._disk_stat = stat_before
 
     def get(self, key: str) -> dict[str, Any] | None:
         with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                return payload
+            # Another process may have persisted this entry since our last
+            # read; re-read only when the file actually changed.
+            if self._stat() != self._disk_stat:
+                self._read_disk_locked()
             return self._entries.get(key)
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        with self._lock:
+        with self._lock, self._file_lock():
             self._entries[key] = payload
             self._flush_locked(merge=True)
 
@@ -139,14 +215,7 @@ class JSONFileCache(CacheBackend):
             # Pick up entries other processes persisted since our last read;
             # our own entries win (values for a shared key are identical by
             # construction — content-keyed, deterministic computation).
-            try:
-                on_disk = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):  # torn read: ours survive
-                on_disk = {}
-            if isinstance(on_disk, dict):
-                merged = dict(on_disk)
-                merged.update(self._entries)
-                self._entries = merged
+            self._read_disk_locked()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         handle, temp_path = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
@@ -155,6 +224,7 @@ class JSONFileCache(CacheBackend):
             with os.fdopen(handle, "w") as stream:
                 json.dump(self._entries, stream)
             os.replace(temp_path, self.path)
+            self._disk_stat = self._stat()
         except BaseException:
             if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
                 os.unlink(temp_path)
@@ -165,7 +235,7 @@ class JSONFileCache(CacheBackend):
             return len(self._entries)
 
     def clear(self) -> None:
-        with self._lock:
+        with self._lock, self._file_lock():
             self._entries.clear()
             self._flush_locked()
 
@@ -201,7 +271,11 @@ class CalibrationCache:
         return Calibration.from_payload(payload)
 
     def get_or_compute(
-        self, mechanism: Mechanism, query: Query, data: Any
+        self,
+        mechanism: Mechanism,
+        query: Query,
+        data: Any,
+        compute: "Callable[[], Calibration] | None" = None,
     ) -> tuple[Calibration, bool]:
         """``(calibration, was_hit)`` — computing and storing on a miss.
 
@@ -210,6 +284,12 @@ class CalibrationCache:
         the ``W`` bounds of the Wasserstein Mechanism), so even its *direct*
         ``noise_scale`` calls become lookups afterwards.  On a miss, the
         mechanism's exported state rides along with the payload.
+
+        ``compute`` overrides how the miss is filled (the engine passes the
+        sharded :class:`~repro.parallel.ParallelCalibrator` path here); it
+        must produce the same calibration — and leave the mechanism in the
+        same warm state — as ``mechanism.calibrate`` would, which the
+        parallel calibrator guarantees bit-for-bit.
         """
         key = self.key_for(mechanism, query, data)
         payload = self.backend.get(key)
@@ -221,7 +301,7 @@ class CalibrationCache:
                 mechanism.warm_start(state)
             return calibration, True
         self.misses += 1
-        calibration = mechanism.calibrate(query, data)
+        calibration = compute() if compute is not None else mechanism.calibrate(query, data)
         stored = calibration.to_payload()
         if hasattr(mechanism, "export_calibration_state"):
             stored["state"] = mechanism.export_calibration_state()

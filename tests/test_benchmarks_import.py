@@ -1,0 +1,33 @@
+"""Tier-1 version of the CI benchmarks-import gate.
+
+Benchmarks (``bench_*.py``) are not collected by the default suite, so this
+test imports each one — catching refactors that break a benchmark's imports
+without waiting for a manual benchmark run.  The same check runs
+standalone in CI via ``scripts/check_benchmarks_import.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from check_benchmarks_import import benchmark_modules  # noqa: E402
+
+
+def test_inventory_is_nonempty():
+    names = benchmark_modules()
+    assert "benchmarks.bench_parallel_calibration" in names
+    assert "benchmarks.bench_engine_throughput" in names
+
+
+@pytest.mark.parametrize("name", benchmark_modules())
+def test_benchmark_module_imports(name):
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+    importlib.import_module(name)

@@ -1,0 +1,137 @@
+"""Property-based calibration tests over randomized chains and alphabets.
+
+Stdlib-``random``-driven (no extra dependencies): each property is checked
+across a deterministic sweep of seeded random instances — chains with random
+state counts, random transition rows bounded away from zero (so MQMApprox's
+mixing hypotheses hold), random family sizes, lengths, and epsilons.
+
+Properties (each a theorem about the mechanisms, not a regression value):
+
+* **Monotonicity** — sigma is non-increasing in epsilon: every quilt score
+  ``card / (eps - influence)`` and the trivial ``T / eps`` decrease as the
+  privacy budget loosens, and min/max preserve that pointwise.
+* **Dominance** — ``MQMApprox`` noise is at least ``MQMExact`` noise on the
+  same family: Lemma 4.8 upper-bounds the exact Eq. (5) influence of every
+  quilt, and MQMExact searches a superset of quilt extents.
+* **Decomposition** — ``sigma_max`` over a set of segment lengths equals the
+  max of the per-length sigmas (the invariant that makes per-length sharding
+  of the parallel calibrator sound).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.mqm_chain import MQMApprox, MQMExact
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+
+#: Relative/absolute slop for comparisons that are exact in math but travel
+#: through float max/min reductions.
+TOL = 1e-9
+
+SEEDS = range(10)
+
+
+def random_chain(rnd: random.Random, n_states: int, min_prob: float = 0.05) -> MarkovChain:
+    """A random irreducible aperiodic chain started at stationarity.
+
+    Every transition probability is at least ``min_prob / n_states`` (rows
+    are normalized sums of ``min_prob + U(0,1)`` draws), which keeps
+    ``pi_min`` and the eigengap positive — the hypotheses of Lemma 4.8.
+    """
+    rows = []
+    for _ in range(n_states):
+        row = [min_prob + rnd.random() for _ in range(n_states)]
+        total = sum(row)
+        rows.append([value / total for value in row])
+    return MarkovChain([1.0 / n_states] * n_states, rows).with_stationary_initial()
+
+
+def random_family(rnd: random.Random) -> FiniteChainFamily:
+    n_states = rnd.choice([2, 3, 4])
+    members = [random_chain(rnd, n_states) for _ in range(rnd.choice([1, 2]))]
+    return FiniteChainFamily(members)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sigma_non_increasing_in_epsilon(seed):
+    rnd = random.Random(seed)
+    family = random_family(rnd)
+    length = rnd.choice([20, 33, 48])
+    epsilons = sorted(0.2 + 2.8 * rnd.random() for _ in range(4))
+    # Fixed search window: the candidate quilt set must not change with
+    # epsilon for the pointwise-monotonicity argument to apply to MQMExact.
+    exact_sigmas = [
+        MQMExact(family, eps, max_window=length).sigma_max(length) for eps in epsilons
+    ]
+    approx_sigmas = [MQMApprox(family, eps).sigma_max(length) for eps in epsilons]
+    for tighter, looser in zip(exact_sigmas, exact_sigmas[1:]):
+        assert looser <= tighter + TOL
+    for tighter, looser in zip(approx_sigmas, approx_sigmas[1:]):
+        assert looser <= tighter + TOL
+    assert all(sigma >= 1.0 / epsilons[i] for i, sigma in enumerate(exact_sigmas))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_approx_noise_dominates_exact(seed):
+    rnd = random.Random(seed)
+    family = random_family(rnd)
+    length = rnd.choice([16, 25, 40])
+    eps = 0.3 + 2.0 * rnd.random()
+    exact = MQMExact(family, eps, max_window=length).sigma_max(length)
+    approx = MQMApprox(family, eps).sigma_max(length)
+    assert approx >= exact - TOL
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sigma_max_over_length_set_is_max_of_per_length(seed):
+    rnd = random.Random(seed)
+    family = random_family(rnd)
+    lengths = sorted({rnd.randint(5, 45) for _ in range(rnd.randint(2, 5))})
+    eps = 0.3 + 2.0 * rnd.random()
+    window = max(lengths)
+
+    exact = MQMExact(family, eps, max_window=window)
+    per_length = [
+        MQMExact(family, eps, max_window=window).sigma_max(n) for n in lengths
+    ]
+    assert exact.sigma_max(lengths) == max(per_length)
+
+    approx = MQMApprox(family, eps)
+    assert approx.sigma_max(lengths) == max(
+        MQMApprox(family, eps).sigma_max(n) for n in lengths
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_plan_merge_matches_serial_on_random_chains(seed):
+    """The plan/merge machinery (executed inline — pool transport is covered
+    by the equivalence suite) reproduces the serial sigma bit-for-bit on
+    randomized families and length sets."""
+    from repro.core.queries import StateFrequencyQuery
+    from repro.parallel import ParallelCalibrator
+
+    rnd = random.Random(seed)
+    family = random_family(rnd)
+    lengths = sorted({rnd.randint(5, 40) for _ in range(3)})
+    eps = 0.3 + 2.0 * rnd.random()
+    window = max(lengths)
+    total = sum(lengths)
+
+    import numpy as np
+
+    from repro.data.datasets import TimeSeriesDataset
+
+    data = TimeSeriesDataset(
+        [np.zeros(n, dtype=int) for n in lengths], family.n_states
+    )
+    query = StateFrequencyQuery(0, total)
+    serial = MQMExact(family, eps, max_window=window).calibrate(query, data)
+    parallel = ParallelCalibrator(max_workers=1).calibrate(
+        MQMExact(family, eps, max_window=window), query, data
+    )
+    assert parallel.scale == serial.scale
+    assert parallel.details == serial.details
