@@ -7,9 +7,11 @@ paper's qualitative shape, and times the per-family noise-scale computation
 of each mechanism.
 """
 
+import dataclasses
+
 import pytest
 
-from benchmarks.recording import record
+from benchmarks.recording import QUICK, record
 from repro.core.mqm_chain import MQMApprox, MQMExact
 from repro.core.queries import StateFrequencyQuery
 from repro.baselines.gk16 import GK16Mechanism
@@ -17,7 +19,9 @@ from repro.distributions.chain_family import IntervalChainFamily
 from repro.experiments.config import FAST
 from repro.experiments.fig4_synthetic import gk16_cutoff, run
 
-CONFIG = FAST.synthetic
+CONFIG = (
+    dataclasses.replace(FAST.synthetic, n_trials=40) if QUICK else FAST.synthetic
+)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,293 @@
+"""Benchmark E9 — variable-elimination inference versus joint enumeration.
+
+The general Markov Quilt Mechanism's kernel is ``max_influence`` (Definition
+4.1): conditional distributions of the quilt given each secret value.  The
+seed computed it by enumerating the full joint (capped at 2M assignments) in
+Python loops; the :mod:`repro.inference` engine computes it by einsum
+variable elimination.  This benchmark measures both on a grid of binary
+chains and records the trajectory to ``results/BENCH_inference.json``:
+
+* ``op = "max_influence"`` — one quilt's influence, enumeration baseline
+  versus engine, at every size where the baseline is feasible in benchmark
+  time (the baseline here is already *better* than the seed: it memoizes
+  the enumerated joint, where the seed re-enumerated per conditional);
+* ``op = "algorithm2_calibration"`` — the full Algorithm 2 sigma search
+  near the old ``MAX_JOINT_SIZE`` cap (2^20 of 2M assignments) and beyond
+  it (2^24, where ``enumerate_joint`` raises), engine only.
+
+Acceptance gates (full mode; quick mode shrinks grids and skips gates):
+
+* the engine's ``max_influence`` is >= 10x the enumeration baseline at the
+  largest baseline size;
+* the engine's *entire* Algorithm 2 calibration near the cap is >= 10x
+  faster than a *single* baseline ``max_influence`` op at a *smaller*
+  network — a strict lower bound on what the enumeration-era calibration
+  would cost there;
+* the engine calibrates a network whose joint exceeds ``MAX_JOINT_SIZE``
+  (impossible at seed), and its sigma matches the chain-specialized
+  Algorithm 3 on the same path graph.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import QUICK, QUICK_SKIP_REASON, record_trajectory
+from repro.core.markov_quilt import MARGINAL_ATOL, MarkovQuiltMechanism, max_influence
+from repro.core.mqm_chain import MQMExact
+from repro.distributions.bayesnet import MAX_JOINT_SIZE, DiscreteBayesianNetwork
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import EnumerationError
+from repro.inference import clear_engine_registry, engine_for
+
+INITIAL = np.array([0.6, 0.4])
+TRANSITION = np.array([[0.85, 0.15], [0.2, 0.8]])
+EPSILON = 2.0
+SPEEDUP_FLOOR = 10.0
+
+#: Chain lengths (binary states, joint size 2^n) where the enumeration
+#: baseline runs within benchmark budget.
+BASELINE_LENGTHS = (8, 10) if QUICK else (12, 15, 18)
+#: Engine-only lengths: near the old cap and beyond it.
+NEAR_CAP_LENGTH = 12 if QUICK else 20  # 2^20 of the 2M-assignment cap
+BEYOND_CAP_LENGTH = 24  # 2^24 > MAX_JOINT_SIZE; engine-only by construction
+
+
+def _chain_net(length: int) -> DiscreteBayesianNetwork:
+    return DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, length)
+
+
+def _middle_quilt(net: DiscreteBayesianNetwork):
+    """A symmetric two-sided quilt around the middle node."""
+    nodes = net.nodes
+    mid = len(nodes) // 2
+    quilt = net.quilt_from_set(nodes[mid], {nodes[mid - 2], nodes[mid + 2]})
+    assert quilt is not None
+    return quilt
+
+
+# ----------------------------------------------------------------------
+# The enumeration-era kernel (the seed's max_influence, joint memoized)
+# ----------------------------------------------------------------------
+def _enumeration_conditional(net, targets, given):
+    assignments, probs = net.enumerate_joint()
+    index = {n: i for i, n in enumerate(net.nodes)}
+    target_idx = [index[t] for t in targets]
+    table: dict = {}
+    total = 0.0
+    for assignment, prob in zip(assignments, probs):
+        if any(assignment[index[g]] != v for g, v in given.items()):
+            continue
+        total += prob
+        key = tuple(assignment[i] for i in target_idx)
+        table[key] = table.get(key, 0.0) + prob
+    return {key: value / total for key, value in table.items()}
+
+
+def _enumeration_max_influence(net, quilt) -> float:
+    assignments, probs = net.enumerate_joint()
+    index = {n: i for i, n in enumerate(net.nodes)}[quilt.node]
+    marginal = np.zeros(net.n_states(quilt.node))
+    for assignment, prob in zip(assignments, probs):
+        marginal[assignment[index]] += prob
+    targets = sorted(quilt.quilt)
+    values = [v for v in range(marginal.size) if marginal[v] > MARGINAL_ATOL]
+    tables = {
+        value: _enumeration_conditional(net, targets, {quilt.node: value})
+        for value in values
+    }
+    supremum = 0.0
+    for a in values:
+        for b in values:
+            if a == b:
+                continue
+            for key, p in tables[a].items():
+                if p <= MARGINAL_ATOL:
+                    continue
+                q = tables[b].get(key, 0.0)
+                if q <= MARGINAL_ATOL:
+                    return float("inf")
+                supremum = max(supremum, float(np.log(p / q)))
+    return supremum
+
+
+# ----------------------------------------------------------------------
+# Measurements (module-scoped: every test reads one trajectory)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trajectory():
+    entries = []
+    for length in BASELINE_LENGTHS:
+        baseline_net = _chain_net(length)
+        quilt = _middle_quilt(baseline_net)
+        start = time.perf_counter()
+        baseline_value = _enumeration_max_influence(baseline_net, quilt)
+        baseline_seconds = time.perf_counter() - start
+
+        engine_net = _chain_net(length)
+        # engine_for() keys on content fingerprint, so a freshly built
+        # equal-content network would still hit a warm engine from earlier
+        # in this process — drop the registry to time a cold elimination.
+        clear_engine_registry()
+        start = time.perf_counter()
+        engine_value = max_influence([engine_net], quilt)
+        engine_seconds = time.perf_counter() - start
+        entries.append(
+            {
+                "op": "max_influence",
+                "size": baseline_net.joint_size(),
+                "nodes": length,
+                "baseline_s": baseline_seconds,
+                "engine_s": engine_seconds,
+                "speedup": baseline_seconds / engine_seconds,
+                "baseline_value": baseline_value,
+                "engine_value": engine_value,
+            }
+        )
+
+    largest_op = max(
+        (e for e in entries if e["op"] == "max_influence"), key=lambda e: e["size"]
+    )
+    for length, label in (
+        (NEAR_CAP_LENGTH, "near-cap"),
+        (BEYOND_CAP_LENGTH, "beyond-cap"),
+    ):
+        net = _chain_net(length)
+        mechanism = MarkovQuiltMechanism([net], epsilon=EPSILON)
+        start = time.perf_counter()
+        sigma = mechanism.sigma_max()
+        seconds = time.perf_counter() - start
+        evaluations = sum(
+            sum(1 for quilt in quilts if not quilt.is_trivial)
+            for quilts in mechanism.quilt_sets.values()
+        )
+        # A strict lower bound on what this calibration costs by
+        # enumeration: ONE max_influence op, with the measured per-op
+        # baseline scaled linearly to this joint size (enumeration walks
+        # every assignment, so its cost is at least linear in the joint) —
+        # the real calibration needs `evaluations` such ops.
+        baseline_floor = (
+            largest_op["baseline_s"] * net.joint_size() / largest_op["size"]
+            if net.joint_size() <= MAX_JOINT_SIZE
+            else None
+        )
+        entries.append(
+            {
+                "op": "algorithm2_calibration",
+                "label": label,
+                "size": net.joint_size(),
+                "nodes": length,
+                "influence_evaluations": evaluations,
+                "baseline_s": None,  # enumeration infeasible at benchmark scale
+                "baseline_floor_s": baseline_floor,
+                "engine_s": seconds,
+                "speedup": None,
+                "speedup_floor_estimate": (
+                    baseline_floor / seconds if baseline_floor else None
+                ),
+                "sigma_max": sigma,
+            }
+        )
+    record_trajectory(
+        "inference",
+        entries,
+        meta={
+            "epsilon": EPSILON,
+            "max_joint_size": MAX_JOINT_SIZE,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+    return entries
+
+
+def _by_op(trajectory, op):
+    return [entry for entry in trajectory if entry["op"] == op]
+
+
+# ----------------------------------------------------------------------
+# Correctness (always, including quick mode)
+# ----------------------------------------------------------------------
+def test_engine_matches_enumeration_baseline(trajectory):
+    """The engine's influence equals the enumeration kernel's wherever the
+    baseline runs — the speedup must not buy a different answer."""
+    ops = _by_op(trajectory, "max_influence")
+    assert len(ops) == len(BASELINE_LENGTHS)
+    for entry in ops:
+        np.testing.assert_allclose(
+            entry["engine_value"], entry["baseline_value"], rtol=1e-10
+        )
+
+
+def test_beyond_cap_is_enumeration_infeasible_but_calibrates():
+    """Acceptance: a joint past MAX_JOINT_SIZE raises in the oracle while
+    Algorithm 2 still calibrates through the engine, matching Algorithm 3."""
+    net = _chain_net(BEYOND_CAP_LENGTH)
+    assert net.joint_size() > MAX_JOINT_SIZE
+    with pytest.raises(EnumerationError):
+        net.enumerate_joint()
+    quilt_sets = {node: net.chain_quilts(node) for node in net.nodes}
+    general = MarkovQuiltMechanism([net], epsilon=EPSILON, quilt_sets=quilt_sets)
+    chain = MarkovChain(INITIAL, TRANSITION)
+    exact = MQMExact(
+        FiniteChainFamily([chain]), EPSILON, max_window=BEYOND_CAP_LENGTH
+    )
+    np.testing.assert_allclose(
+        general.sigma_max(), exact.sigma_max(BEYOND_CAP_LENGTH), rtol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Speedup gates (full mode only)
+# ----------------------------------------------------------------------
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
+def test_per_op_speedup_floor(trajectory):
+    """Acceptance: >= 10x over the enumeration baseline at the largest
+    baseline size (measured ~10^3-10^4x)."""
+    largest = max(_by_op(trajectory, "max_influence"), key=lambda e: e["size"])
+    assert largest["speedup"] >= SPEEDUP_FLOOR, largest
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
+def test_near_cap_calibration_beats_enumeration_floor(trajectory):
+    """Acceptance: the *whole* Algorithm 2 calibration at 2^20 (near the
+    old 2M cap) is >= 10x faster than ``baseline_floor_s`` — the measured
+    per-op enumeration baseline scaled to the 2^20 joint, i.e. the cost of
+    a *single* enumeration-based max_influence op there, where the real
+    enumeration-era calibration needs hundreds
+    (``influence_evaluations``)."""
+    near_cap = next(
+        e for e in _by_op(trajectory, "algorithm2_calibration") if e["label"] == "near-cap"
+    )
+    assert near_cap["influence_evaluations"] > 100
+    assert near_cap["engine_s"] * SPEEDUP_FLOOR <= near_cap["baseline_floor_s"], near_cap
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark rate probes
+# ----------------------------------------------------------------------
+def test_engine_max_influence_rate(benchmark):
+    net = _chain_net(NEAR_CAP_LENGTH)
+    quilt = _middle_quilt(net)
+    engine_for(net)  # warm the factor/order caches: steady-state rate
+    value = benchmark.pedantic(
+        lambda: max_influence([net], quilt), rounds=3, iterations=1
+    )
+    assert np.isfinite(value)
+
+
+def test_engine_conditional_tables_rate(benchmark):
+    net = _chain_net(NEAR_CAP_LENGTH)
+    engine = engine_for(net)
+    nodes = net.nodes
+    targets = (nodes[2], nodes[-3])
+
+    def run():
+        engine._table_cache.clear()  # measure the elimination, not the memo
+        return engine.conditional_tables(targets, nodes[len(nodes) // 2])
+
+    tensor = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert tensor.shape[0] == 2

@@ -21,13 +21,14 @@ import os
 
 import pytest
 
-from benchmarks.recording import RESULTS_DIR, record
+from benchmarks.recording import QUICK, QUICK_SKIP_REASON, RESULTS_DIR, record
 from repro.experiments.table2_runtime import parallel_sweep_timings, sweep_workload
 from repro.parallel import ParallelCalibrator
 
 WORKERS = 4
-GRID_POINTS = 9  # the paper's p0, p1 in {0.1, 0.11, ..., 0.9} resolution
-LENGTH = 100
+# Full: the paper's p0, p1 in {0.1, 0.11, ..., 0.9} resolution.
+GRID_POINTS = 3 if QUICK else 9
+LENGTH = 40 if QUICK else 100
 SPEEDUP_FLOOR = 2.0
 
 
@@ -51,6 +52,8 @@ def test_sharded_sweep_is_bit_identical(sweep_report):
     assert sweep_report["n_shards"] == GRID_POINTS * GRID_POINTS
 
 
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < WORKERS,
     reason=f"needs >= {WORKERS} cores to demonstrate the speedup floor",

@@ -1,0 +1,197 @@
+"""Benchmark E10 — tensorized Algorithm 1 hot paths versus the seed loops.
+
+Two ops, both recorded to ``results/BENCH_wasserstein.json``:
+
+* ``op = "wasserstein_bound"`` — the full Algorithm 1 supremum on a
+  Markov-chain instantiation.  Baseline: the seed's per-secret generator
+  walk (one full support enumeration per secret per model) with
+  ``DiscreteDistribution``-based W-infinity.  Engine: the pooled
+  :class:`~repro.core.wasserstein.ModelOutputTable` path (one support
+  materialization + one batched query evaluation per model, conditionals by
+  mask + bincount, W-infinity on the shared support).
+* ``op = "group_sensitivity"`` — Definition B.1 over ``{0,1}^n``.
+  Baseline: the seed's per-group ``itertools.product`` walk (re-evaluating
+  the query for every group).  Engine: one mixed-radix assignment matrix,
+  one batched query evaluation, per-group ``reduceat`` min/max.
+
+Both paths must agree exactly (to float association) at every size — the
+equality assertions run in quick mode too; the speedup gates only in full
+mode.
+"""
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import QUICK, QUICK_SKIP_REASON, record_trajectory
+from repro.core.framework import entrywise_instantiation
+from repro.core.models import MarkovChainModel
+from repro.core.queries import CountQuery
+from repro.core.wasserstein import group_sensitivity, wasserstein_bound
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.markov import MarkovChain
+from repro.distributions.metrics import w_infinity
+
+CHAIN = MarkovChain([0.6, 0.4], [[0.85, 0.15], [0.2, 0.8]])
+BOUND_LENGTHS = (5, 6) if QUICK else (8, 10, 12)
+SENSITIVITY_RECORDS = 8 if QUICK else 14
+SPEEDUP_FLOOR = 2.0
+
+
+# ----------------------------------------------------------------------
+# Seed-era loops, verbatim
+# ----------------------------------------------------------------------
+def _legacy_conditional(model, query, secret):
+    pairs = []
+    total = 0.0
+    for row, prob in model.support():
+        if row[secret.index] == secret.value:
+            pairs.append((float(query(np.asarray(row))), prob))
+            total += prob
+    return DiscreteDistribution.from_pairs((v, p / total) for v, p in pairs)
+
+
+def _legacy_wasserstein_bound(instantiation, query) -> float:
+    supremum = 0.0
+    for model in instantiation.models:
+        cache: dict = {}
+
+        def conditional(secret, model=model, cache=cache):
+            if secret not in cache:
+                cache[secret] = _legacy_conditional(model, query, secret)
+            return cache[secret]
+
+        for pair in instantiation.admissible_pairs(model):
+            supremum = max(
+                supremum, w_infinity(conditional(pair.left), conditional(pair.right))
+            )
+    return supremum
+
+
+def _legacy_group_sensitivity(query, n_values, n_records, groups) -> float:
+    indices = list(range(n_records))
+    sensitivity = 0.0
+    for group in groups:
+        group = sorted(set(group))
+        complement = [i for i in indices if i not in group]
+        extremes: dict = {}
+        for assignment in itertools.product(range(n_values), repeat=n_records):
+            value = float(query(np.asarray(assignment)))
+            key = tuple(assignment[i] for i in complement)
+            low, high = extremes.get(key, (value, value))
+            extremes[key] = (min(low, value), max(high, value))
+        for low, high in extremes.values():
+            sensitivity = max(sensitivity, high - low)
+    return sensitivity
+
+
+# ----------------------------------------------------------------------
+# Measurements
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trajectory():
+    entries = []
+    query = CountQuery()
+    for length in BOUND_LENGTHS:
+        instantiation = entrywise_instantiation(
+            length, 2, [MarkovChainModel(CHAIN, length)]
+        )
+        start = time.perf_counter()
+        baseline_value = _legacy_wasserstein_bound(instantiation, query)
+        baseline_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        engine_value = wasserstein_bound(instantiation, query)
+        engine_seconds = time.perf_counter() - start
+        entries.append(
+            {
+                "op": "wasserstein_bound",
+                "size": 2**length,
+                "records": length,
+                "baseline_s": baseline_seconds,
+                "engine_s": engine_seconds,
+                "speedup": baseline_seconds / engine_seconds,
+                "baseline_value": baseline_value,
+                "engine_value": engine_value,
+            }
+        )
+
+    n = SENSITIVITY_RECORDS
+    groups = [[i, i + n // 2] for i in range(n // 2)]
+    start = time.perf_counter()
+    baseline_value = _legacy_group_sensitivity(query, 2, n, groups)
+    baseline_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    engine_value = group_sensitivity(query, 2, n, groups)
+    engine_seconds = time.perf_counter() - start
+    entries.append(
+        {
+            "op": "group_sensitivity",
+            "size": 2**n,
+            "records": n,
+            "n_groups": len(groups),
+            "baseline_s": baseline_seconds,
+            "engine_s": engine_seconds,
+            "speedup": baseline_seconds / engine_seconds,
+            "baseline_value": baseline_value,
+            "engine_value": engine_value,
+        }
+    )
+    record_trajectory(
+        "wasserstein", entries, meta={"speedup_floor": SPEEDUP_FLOOR}
+    )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Correctness (always)
+# ----------------------------------------------------------------------
+def test_tensorized_values_match_seed_loops(trajectory):
+    for entry in trajectory:
+        np.testing.assert_allclose(
+            entry["engine_value"], entry["baseline_value"], rtol=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# Speedup gates (full mode only)
+# ----------------------------------------------------------------------
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
+def test_wasserstein_bound_speedup(trajectory):
+    largest = max(
+        (e for e in trajectory if e["op"] == "wasserstein_bound"),
+        key=lambda e: e["size"],
+    )
+    assert largest["speedup"] >= SPEEDUP_FLOOR, largest
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
+def test_group_sensitivity_speedup(trajectory):
+    entry = next(e for e in trajectory if e["op"] == "group_sensitivity")
+    assert entry["speedup"] >= SPEEDUP_FLOOR, entry
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark rate probes
+# ----------------------------------------------------------------------
+def test_wasserstein_bound_rate(benchmark):
+    length = BOUND_LENGTHS[-1]
+    instantiation = entrywise_instantiation(
+        length, 2, [MarkovChainModel(CHAIN, length)]
+    )
+    value = benchmark.pedantic(
+        lambda: wasserstein_bound(instantiation, CountQuery()), rounds=3, iterations=1
+    )
+    assert value > 0
+
+
+def test_group_sensitivity_rate(benchmark):
+    n = SENSITIVITY_RECORDS
+    groups = [[i] for i in range(n)]
+    value = benchmark.pedantic(
+        lambda: group_sensitivity(CountQuery(), 2, n, groups), rounds=3, iterations=1
+    )
+    assert value > 0

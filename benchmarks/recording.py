@@ -4,13 +4,37 @@ Each benchmark regenerates one paper artifact (table or figure), records the
 rendered text under ``results/`` so EXPERIMENTS.md can be assembled from
 actual runs, and uses pytest-benchmark to time the representative
 noise-scale computation (the quantity Table 2 reports).
+
+Two cross-cutting facilities live here:
+
+* **Quick mode** (:data:`QUICK`, set via the ``REPRO_BENCH_QUICK``
+  environment variable): benchmarks shrink their grids to smoke-test sizes
+  and *skip speedup gates* (tiny workloads cannot demonstrate them), so CI
+  can execute every benchmark body on every PR without paying full
+  benchmark wall time.  Full runs (no env var) keep the real grids and
+  enforce the gates.
+* **Perf trajectory recording** (:func:`record_trajectory`): performance
+  benchmarks write machine-readable ``results/BENCH_<name>.json`` files —
+  op, size grid, wall times, speedups versus the baseline — so the perf
+  trajectory is comparable across PRs, not just eyeballed from text logs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
+from typing import Any, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Quick (smoke) mode: tiny grids, no speedup gates.  Set by the CI
+#: benchmarks-smoke lane via ``REPRO_BENCH_QUICK=1``.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Reason string for speedup-gate skips in quick mode.
+QUICK_SKIP_REASON = "speedup gates are meaningless on quick-mode grids"
 
 
 def record(name: str, text: str) -> Path:
@@ -20,3 +44,40 @@ def record(name: str, text: str) -> Path:
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
     return path
+
+
+def record_json(name: str, payload: Any) -> Path:
+    """Write one artifact as JSON under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path
+
+
+def record_trajectory(
+    name: str, entries: Sequence[dict], meta: dict | None = None
+) -> Path:
+    """Write a perf-trajectory artifact ``results/BENCH_<name>.json``.
+
+    ``entries`` is a list of measurement dicts — by convention each carries
+    ``op`` (what was measured), a size field (``size`` / ``length`` / ...),
+    wall times in seconds, and ``speedup`` versus the relevant baseline
+    (``None`` where the baseline is infeasible, e.g. beyond the enumeration
+    cap).  The envelope records quick mode and the host, so trajectories
+    from different machines are never naively compared.
+    """
+    payload = {
+        "benchmark": name,
+        "quick": QUICK,
+        "host": {
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "entries": list(entries),
+    }
+    if meta:
+        payload["meta"] = meta
+    return record_json(f"BENCH_{name}", payload)

@@ -15,6 +15,9 @@ Public API highlights
 * Substrates: :class:`~repro.distributions.markov.MarkovChain`,
   :class:`~repro.distributions.bayesnet.DiscreteBayesianNetwork`, chain
   families, discrete distributions and their divergences.
+* Inference: :class:`~repro.inference.engine.InferenceEngine` — the
+  einsum variable-elimination engine behind every general-network
+  marginal/conditional (``repro.inference``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -52,6 +55,7 @@ from repro.core import (
     wasserstein_bound,
 )
 from repro.data import StudyGroup, TimeSeriesDataset
+from repro.inference import InferenceEngine, engine_for
 from repro.parallel import ParallelCalibrator
 from repro.serving import (
     CalibrationCache,
@@ -86,6 +90,7 @@ __all__ = [
     "GroupDPMechanism",
     "IndividualDPMechanism",
     "InMemoryLRUCache",
+    "InferenceEngine",
     "IntervalChainFamily",
     "JSONFileCache",
     "MQMApprox",
@@ -110,6 +115,7 @@ __all__ = [
     "adversary_distance",
     "chain_max_influence",
     "effective_epsilon",
+    "engine_for",
     "entrywise_instantiation",
     "max_divergence",
     "total_variation",

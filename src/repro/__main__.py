@@ -33,6 +33,7 @@ EXPERIMENTS = (
     "table3_power",
     "section3_flu",
     "section44_running_example",
+    "general_networks",
 )
 
 

@@ -7,10 +7,12 @@ For each node ``X_i`` the mechanism searches a set of Markov quilts
 (smallest) score, and the released noise is ``L * max_i sigma_i * Lap(1)``
 (Theorem 4.3).
 
-Max-influence (Definition 4.1) is computed *exactly* here by enumerating the
-joint distribution of each theta — the general-but-expensive path the paper
-describes.  The Markov-chain specialization in :mod:`repro.core.mqm_chain`
-avoids the enumeration entirely.
+Max-influence (Definition 4.1) is computed *exactly* here through the
+:mod:`repro.inference` variable-elimination engine: one batched
+``conditional_tables(X_Q, X_i)`` tensor per theta, reduced by a log-space
+sup-ratio over all ordered secret-value pairs at once (the tensor analogue of
+:func:`repro.core.mqm_chain._sup_ratio_table`).  The Markov-chain
+specialization in :mod:`repro.core.mqm_chain` avoids even that.
 """
 
 from __future__ import annotations
@@ -23,58 +25,71 @@ from repro.core.laplace import Mechanism
 from repro.core.queries import Query
 from repro.distributions.bayesnet import DiscreteBayesianNetwork, MarkovQuilt
 from repro.exceptions import PrivacyParameterError, ValidationError
+from repro.inference import engine_for
 
 #: Marginal probabilities below this are treated as zero when deciding which
 #: secret values are admissible under a theta.
 MARGINAL_ATOL = 1e-12
 
 
-def _log_ratio_sup(
-    numer: Mapping[tuple[int, ...], float],
-    denom: Mapping[tuple[int, ...], float],
-) -> float:
-    """``sup_x log numer(x)/denom(x)`` over the support of ``numer``."""
-    supremum = -np.inf
-    for key, p in numer.items():
-        if p <= MARGINAL_ATOL:
-            continue
-        q = denom.get(key, 0.0)
-        if q <= MARGINAL_ATOL:
-            return float("inf")
-        supremum = max(supremum, float(np.log(p / q)))
-    return supremum
+def _pairwise_sup_ratio(tables: np.ndarray) -> float:
+    """``max_{a != b} sup_x log tables[a, x] / tables[b, x]`` in log space.
+
+    ``tables`` is a ``(m, M)`` matrix of conditional distributions (rows sum
+    to one).  The supremum for a row pair ranges over the support of the
+    numerator row only: entries with numerator mass <= :data:`MARGINAL_ATOL`
+    contribute nothing (their log is ``-inf``); a supported numerator entry
+    over an unsupported denominator entry makes the pair's ratio unbounded
+    (``finite - -inf = +inf``), exactly as the enumeration-era dict walk
+    decided it.
+    """
+    if tables.shape[0] < 2:
+        return 0.0
+    with np.errstate(divide="ignore"):
+        logs = np.where(tables > MARGINAL_ATOL, np.log(tables), -np.inf)
+    with np.errstate(invalid="ignore"):
+        diff = logs[:, None, :] - logs[None, :, :]
+    # -inf - -inf (both off-support) is NaN; such entries contribute nothing.
+    diff = np.where(np.isnan(diff), -np.inf, diff)
+    pair_sup = diff.max(axis=2)
+    np.fill_diagonal(pair_sup, -np.inf)
+    return float(pair_sup.max())
 
 
 def max_influence(
     networks: Sequence[DiscreteBayesianNetwork],
     quilt: MarkovQuilt,
 ) -> float:
-    """``e_Theta(X_Q | X_i)`` of Definition 4.1, by exact enumeration.
+    """``e_Theta(X_Q | X_i)`` of Definition 4.1, exactly.
 
     ``networks`` is the class Theta: Bayesian networks sharing a DAG but with
     possibly different CPDs.  The trivial quilt always has influence 0.
     Secret values with zero marginal probability under a theta are skipped
     for that theta (Definition 2.1 only constrains positive-probability
     secrets).
+
+    Per theta this costs one variable-elimination run producing the batched
+    ``P(X_Q | X_i = .)`` tensor plus one vectorized log-ratio reduction —
+    the engine memoizes factors and marginals per network fingerprint, so a
+    quilt search over many candidates never recomputes shared state (the
+    seed re-enumerated the full joint on every call).
     """
     if quilt.is_trivial or not quilt.quilt:
         return 0.0
     targets = sorted(quilt.quilt)
     supremum = 0.0
     for network in networks:
-        marginal = network.marginal_of(quilt.node)
-        values = [v for v in range(network.n_states(quilt.node)) if marginal[v] > MARGINAL_ATOL]
-        tables = {
-            value: network.conditional_table(targets, {quilt.node: value}) for value in values
-        }
-        for a in values:
-            for b in values:
-                if a == b:
-                    continue
-                supremum = max(supremum, _log_ratio_sup(tables[a], tables[b]))
-                if np.isinf(supremum):
-                    return float("inf")
-    return float(supremum)
+        engine = engine_for(network)
+        marginal = engine.marginal_of(quilt.node)
+        values = np.flatnonzero(marginal > MARGINAL_ATOL)
+        if values.size < 2:
+            continue  # fewer than two admissible secret values: nothing to compare
+        tensor = engine.conditional_tables(targets, quilt.node)
+        tables = tensor.reshape(tensor.shape[0], -1)[values]
+        supremum = max(supremum, _pairwise_sup_ratio(tables))
+        if np.isinf(supremum):
+            return float("inf")
+    return float(max(supremum, 0.0))
 
 
 class MarkovQuiltMechanism(Mechanism):
@@ -142,6 +157,41 @@ class MarkovQuiltMechanism(Mechanism):
             tuple(network.fingerprint() for network in self.networks),
             quilts,
         )
+
+    def export_calibration_state(self) -> dict:
+        """JSON-safe snapshot of the per-node quilt-search results (see
+        :meth:`repro.core.mqm_chain.MQMExact.export_calibration_state`).
+
+        Each entry carries the node's sigma and its active quilt, so a warm
+        cache entry restores :meth:`sigma_max`, :meth:`active_quilts`, and
+        :meth:`quilt_signature` without re-running any quilt search.  Only
+        valid under an identical :meth:`calibration_fingerprint`.
+        """
+        return {
+            "sigma_by_node": [
+                [
+                    node,
+                    float(sigma),
+                    {
+                        "quilt": sorted(quilt.quilt),
+                        "nearby": sorted(quilt.nearby),
+                        "remote": sorted(quilt.remote),
+                    },
+                ]
+                for node, (sigma, quilt) in sorted(self._sigma_cache.items())
+            ]
+        }
+
+    def warm_start(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_calibration_state`."""
+        for node, sigma, parts in state.get("sigma_by_node", []):
+            quilt = MarkovQuilt(
+                node=str(node),
+                quilt=frozenset(parts["quilt"]),
+                nearby=frozenset(parts["nearby"]),
+                remote=frozenset(parts["remote"]),
+            )
+            self._sigma_cache[str(node)] = (float(sigma), quilt)
 
     def sigma_for_node(self, node: str) -> tuple[float, MarkovQuilt]:
         """``(sigma_i, active quilt)`` for one node (Definition 4.5)."""

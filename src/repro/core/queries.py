@@ -42,6 +42,22 @@ class Query(ABC):
     def __call__(self, data: np.ndarray) -> float | np.ndarray:
         """Evaluate the query on a 1-D array of record values."""
 
+    def evaluate_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Evaluate a *scalar* query on every row of an ``(N, n)`` matrix.
+
+        The vectorized support-enumeration paths (Algorithm 1's conditional
+        output distributions, :func:`repro.core.wasserstein.
+        group_sensitivity`) evaluate the query over every database
+        realization at once; this hook lets closed-form queries answer the
+        whole batch in one NumPy pass.  The base implementation loops row by
+        row — always correct, never faster — and subclasses override it only
+        when the batched result is value-identical to the per-row loop.
+        """
+        rows = np.asarray(rows)
+        if self.output_dim != 1:
+            raise ValidationError("evaluate_batch is defined for scalar queries")
+        return np.array([float(self(row)) for row in rows])
+
     def describe(self) -> str:
         """Human-readable rendering used in reports."""
         return f"{type(self).__name__}(L={self.lipschitz:g}, k={self.output_dim})"
@@ -166,6 +182,14 @@ class StateFrequencyQuery(Query):
             )
         return float(np.mean(data == self.state))
 
+    def evaluate_batch(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.n_records:
+            raise ValidationError(
+                f"query was built for {self.n_records} records, got shape {rows.shape}"
+            )
+        return (rows == self.state).mean(axis=1)
+
 
 class RelativeFrequencyHistogram(Query):
     """Relative frequency of every state: ``F(X)_s = (1/n) sum 1[X_t = s]``.
@@ -210,6 +234,14 @@ class CountQuery(Query):
             return float(np.sum(data))
         return float(np.sum(self._predicate(data)))
 
+    def evaluate_batch(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows)
+        if self._predicate is None:
+            return rows.sum(axis=-1).astype(float)
+        # A user predicate is only promised to work on one record array at a
+        # time, so batches fall back to the per-row loop.
+        return super().evaluate_batch(rows)
+
     def signature(self) -> tuple:
         return ("CountQuery", _callable_token(self._predicate))
 
@@ -228,6 +260,9 @@ class SumQuery(Query):
     def __call__(self, data: np.ndarray) -> float:
         clipped = np.clip(np.asarray(data, dtype=float), self.low, self.high)
         return float(clipped.sum())
+
+    def evaluate_batch(self, rows: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(rows, dtype=float), self.low, self.high).sum(axis=-1)
 
 
 class MeanQuery(Query):
@@ -251,3 +286,11 @@ class MeanQuery(Query):
                 f"query was built for {self.n_records} records, got {data.size}"
             )
         return float(np.clip(data, self.low, self.high).mean())
+
+    def evaluate_batch(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self.n_records:
+            raise ValidationError(
+                f"query was built for {self.n_records} records, got shape {rows.shape}"
+            )
+        return np.clip(rows, self.low, self.high).mean(axis=1)

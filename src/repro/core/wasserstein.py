@@ -10,14 +10,20 @@ Theorem 3.2 shows this is epsilon-Pufferfish private; Theorem 3.3 shows ``W``
 never exceeds the global sensitivity of the corresponding group-DP framework
 (we expose :func:`group_sensitivity` so tests can verify the inequality).
 
-The computation enumerates model supports, which is exactly the
-computational cost the paper attributes to the mechanism; realistic chains
-should use :mod:`repro.core.mqm_chain`.
+The computation enumerates model supports — the cost the paper attributes to
+the mechanism — but does so *tensorized*: each model's support is
+materialized once into flat arrays, the query is evaluated over all
+realizations in one batched pass (:meth:`repro.core.queries.Query.
+evaluate_batch`), and every conditional output distribution is a boolean
+mask plus a ``bincount`` over the pooled sorted output support
+(:class:`ModelOutputTable`).  W-infinity between two conditionals is then a
+pure CDF computation on that shared support
+(:func:`repro.distributions.metrics.w_infinity_pooled`).  Realistic chains
+should still use :mod:`repro.core.mqm_chain`.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,23 +34,81 @@ from repro.core.laplace import Mechanism
 from repro.core.models import DataModel
 from repro.core.queries import Query, signature_is_process_local
 from repro.distributions.discrete import DiscreteDistribution
-from repro.distributions.metrics import w_infinity
+from repro.distributions.metrics import w_infinity_pooled
 from repro.exceptions import EnumerationError, ValidationError
 
 
+class ModelOutputTable:
+    """The vectorized substrate of Algorithm 1 for one ``(model, query)``.
+
+    Materializes the model's support as a record matrix and probability
+    vector, evaluates the scalar query over every realization in one
+    batched pass, and pools the outputs into a sorted unique support.  A
+    conditional output distribution ``P(F(X) | X_i = a, theta)`` is then a
+    boolean mask over rows and a ``bincount`` onto the pooled atoms — no
+    re-enumeration per secret, which is where the seed spent its time
+    (one full generator walk per secret per model).
+    """
+
+    def __init__(self, model: DataModel, query: Query) -> None:
+        if query.output_dim != 1:
+            raise ValidationError("ModelOutputTable is defined for scalar queries")
+        rows: list = []
+        probs: list = []
+        for row, prob in model.support():
+            rows.append(row)
+            probs.append(prob)
+        if not rows:
+            raise ValidationError("model support is empty")
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.probs = np.asarray(probs, dtype=float)
+        outputs = np.asarray(query.evaluate_batch(self.rows), dtype=float)
+        #: Sorted unique query outputs — the pooled support every
+        #: conditional distribution lives on.
+        self.atoms, self._inverse = np.unique(outputs, return_inverse=True)
+
+    def conditional_weights(self, secret: Secret) -> np.ndarray:
+        """``P(F(X) = atoms | secret, theta)`` as a vector on the pooled
+        support (zero entries where the conditional puts no mass).
+
+        Raises :class:`ValidationError` when the secret has zero
+        probability, exactly as the enumeration path did.
+        """
+        mask = self.rows[:, secret.index] == secret.value
+        total = float(self.probs[mask].sum())
+        if total <= 0:
+            raise ValidationError(
+                f"secret {secret.describe()} has zero probability under theta"
+            )
+        return (
+            np.bincount(
+                self._inverse[mask],
+                weights=self.probs[mask],
+                minlength=self.atoms.size,
+            )
+            / total
+        )
+
+    def conditional_distribution(self, secret: Secret) -> DiscreteDistribution:
+        """:meth:`conditional_weights` packaged as a
+        :class:`~repro.distributions.discrete.DiscreteDistribution`."""
+        weights = self.conditional_weights(secret)
+        keep = weights > 0
+        return DiscreteDistribution(self.atoms[keep], weights[keep] / weights[keep].sum())
+
+
 def conditional_output_distribution(
-    model: DataModel, query: Query, secret: Secret
+    model: DataModel, query: Query, secret: Secret, *, table: ModelOutputTable | None = None
 ) -> DiscreteDistribution:
-    """``P(F(X) = . | secret, theta)`` by enumerating the model's support."""
-    pairs = []
-    total = 0.0
-    for row, prob in model.support():
-        if row[secret.index] == secret.value:
-            pairs.append((float(query(np.asarray(row))), prob))
-            total += prob
-    if total <= 0:
-        raise ValidationError(f"secret {secret.describe()} has zero probability under theta")
-    return DiscreteDistribution.from_pairs((v, p / total) for v, p in pairs)
+    """``P(F(X) = . | secret, theta)`` over the model's support.
+
+    Pass a prebuilt :class:`ModelOutputTable` to share the support
+    materialization across secrets (as :func:`wasserstein_bound` does); a
+    bare call builds one table for this evaluation.
+    """
+    if table is None:
+        table = ModelOutputTable(model, query)
+    return table.conditional_distribution(secret)
 
 
 @dataclass(frozen=True)
@@ -56,6 +120,41 @@ class WassersteinDetail:
     distance: float
 
 
+def model_supremum(
+    instantiation: PufferfishInstantiation,
+    query: Query,
+    theta_index: int,
+    details: list[WassersteinDetail] | None = None,
+) -> float:
+    """The per-theta supremum of Algorithm 1's loop, tensorized.
+
+    One :class:`ModelOutputTable` per model; each admissible pair costs two
+    (cached) conditional weight vectors and one
+    :func:`~repro.distributions.metrics.w_infinity_pooled` CDF pass.  This
+    is also the body of a ``wasserstein-model`` calibration shard
+    (:mod:`repro.parallel.shards`) — serial and sharded runs execute exactly
+    this function, which is what keeps them bit-identical.
+    """
+    model = instantiation.models[theta_index]
+    table = ModelOutputTable(model, query)
+    cache: dict[Secret, np.ndarray] = {}
+
+    def conditional(secret: Secret) -> np.ndarray:
+        if secret not in cache:
+            cache[secret] = table.conditional_weights(secret)
+        return cache[secret]
+
+    supremum = 0.0
+    for pair in instantiation.admissible_pairs(model):
+        distance = w_infinity_pooled(
+            table.atoms, conditional(pair.left), conditional(pair.right)
+        )
+        supremum = max(supremum, distance)
+        if details is not None:
+            details.append(WassersteinDetail(pair, theta_index, distance))
+    return float(supremum)
+
+
 def wasserstein_bound(
     instantiation: PufferfishInstantiation,
     query: Query,
@@ -65,27 +164,14 @@ def wasserstein_bound(
     """The supremum ``W`` of Algorithm 1 for a scalar query.
 
     Iterates all admissible secret pairs and all models, exactly as the
-    algorithm's loop does.
+    algorithm's loop does — each model through :func:`model_supremum`.
     """
     if query.output_dim != 1:
         raise ValidationError("the Wasserstein Mechanism is defined for scalar queries")
-    details: list[WassersteinDetail] = []
+    details: list[WassersteinDetail] | None = [] if return_details else None
     supremum = 0.0
-    for theta_index, model in enumerate(instantiation.models):
-        # Conditional output distributions are reused across the pairs that
-        # share a secret, so cache them per model.
-        cache: dict[Secret, DiscreteDistribution] = {}
-
-        def conditional(secret: Secret, model=model, cache=cache) -> DiscreteDistribution:
-            if secret not in cache:
-                cache[secret] = conditional_output_distribution(model, query, secret)
-            return cache[secret]
-
-        for pair in instantiation.admissible_pairs(model):
-            distance = w_infinity(conditional(pair.left), conditional(pair.right))
-            supremum = max(supremum, distance)
-            if return_details:
-                details.append(WassersteinDetail(pair, theta_index, distance))
+    for theta_index in range(len(instantiation.models)):
+        supremum = max(supremum, model_supremum(instantiation, query, theta_index, details))
     if return_details:
         return supremum, details
     return supremum
@@ -158,6 +244,16 @@ class WassersteinMechanism(Mechanism):
         return {"wasserstein_bound": self.wasserstein_distance_bound(query)}
 
 
+def mixed_radix_assignments(n_values: int, n_records: int) -> np.ndarray:
+    """All of ``{0..n_values-1}^n_records`` as an ``(n_values^n_records,
+    n_records)`` integer matrix, in lexicographic (``itertools.product``)
+    order — the vectorized replacement for per-assignment tuple loops."""
+    total = n_values**n_records
+    radix = n_values ** np.arange(n_records - 1, -1, -1, dtype=np.int64)
+    codes = np.arange(total, dtype=np.int64)
+    return (codes[:, None] // radix[None, :]) % n_values
+
+
 def group_sensitivity(
     query: Query,
     n_values: int,
@@ -170,30 +266,39 @@ def group_sensitivity(
 
     Definition B.1: ``Delta_G F = max_k max |F(x) - F(y)|`` over database
     pairs ``(x, y)`` that differ only in the records of group ``G_k``.
-    Computed by brute-force enumeration over the discrete domain
-    ``{0..n_values-1}^n_records`` — intended for the small instantiations
-    used to validate Theorem 3.3.
+    Computed over the full discrete domain ``{0..n_values-1}^n_records``,
+    vectorized: one mixed-radix assignment matrix, one batched query
+    evaluation (shared by *all* groups — the seed re-evaluated the query
+    for every group), and per group a mixed-radix class key over the
+    complement records with ``np.ufunc.reduceat`` grouped min/max.
     """
     if n_values**n_records > max_enumeration:
         raise EnumerationError(
             f"group sensitivity enumeration of {n_values}**{n_records} databases "
             f"exceeds the cap of {max_enumeration}"
         )
+    assignments = mixed_radix_assignments(n_values, n_records)
+    values = np.asarray(query.evaluate_batch(assignments), dtype=float)
     indices = list(range(n_records))
     sensitivity = 0.0
     for group in groups:
         group = sorted(set(group))
         complement = [i for i in indices if i not in group]
-        # Group databases by the values outside the group; within each class
-        # record the query range (max - min) over group assignments.
-        extremes: dict[tuple[int, ...], tuple[float, float]] = {}
-        for assignment in itertools.product(range(n_values), repeat=n_records):
-            value = float(query(np.asarray(assignment)))
-            key = tuple(assignment[i] for i in complement)
-            low, high = extremes.get(key, (value, value))
-            extremes[key] = (min(low, value), max(high, value))
-        for low, high in extremes.values():
-            sensitivity = max(sensitivity, high - low)
+        if not complement:
+            # The group covers every record: one class, full query range.
+            sensitivity = max(sensitivity, float(values.max() - values.min()))
+            continue
+        radix = n_values ** np.arange(len(complement) - 1, -1, -1, dtype=np.int64)
+        keys = assignments[:, complement] @ radix
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_values = values[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        highs = np.maximum.reduceat(sorted_values, starts)
+        lows = np.minimum.reduceat(sorted_values, starts)
+        sensitivity = max(sensitivity, float((highs - lows).max()))
     return sensitivity
 
 

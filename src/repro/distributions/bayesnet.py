@@ -9,8 +9,11 @@ This module implements the substrate needed by the general Markov Quilt
 Mechanism (Algorithm 2):
 
 * CPD storage and validation, topological ordering,
-* exact joint enumeration (for moderate networks; guarded by a safety cap),
-* conditional distributions ``P(X_A | X_i = a)``,
+* exact joint enumeration (kept as the *test oracle* for moderate networks;
+  guarded by a safety cap and memoized per network),
+* conditional distributions ``P(X_A | X_i = a)`` and marginals, computed by
+  the :mod:`repro.inference` variable-elimination engine — exact for any
+  network whose elimination width is tractable, with no joint-size cap,
 * Markov blankets and **d-separation** (via moralized ancestral graphs),
   which certifies condition 2 of Definition 4.2 (``X_R`` independent of
   ``X_i`` given ``X_Q``) *for every* distribution that factorizes over G,
@@ -29,8 +32,13 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import EnumerationError, ValidationError
+from repro.inference import engine_for
 
-#: Refuse to enumerate joints with more than this many assignments.
+#: Refuse to *enumerate* joints with more than this many assignments.  The
+#: variable-elimination paths (:meth:`DiscreteBayesianNetwork.marginal_of`,
+#: :meth:`DiscreteBayesianNetwork.conditional_table`) are not subject to
+#: this cap — it only guards the explicit oracle
+#: :meth:`DiscreteBayesianNetwork.enumerate_joint`.
 MAX_JOINT_SIZE = 2_000_000
 
 
@@ -76,6 +84,8 @@ class DiscreteBayesianNetwork:
         self._parents: dict[str, tuple[str, ...]] = {}
         self._cpds: dict[str, np.ndarray] = {}
         self._order: list[str] = []
+        self._fingerprint: str | None = None
+        self._joint_memo: tuple[list[tuple[int, ...]], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,7 +124,11 @@ class DiscreteBayesianNetwork:
         self._parents[name] = tuple(parents)
         self._cpds[name] = table / table.sum(axis=-1, keepdims=True)
         self._order.append(name)
-        self._fingerprint = None  # content changed; re-hash on next request
+        # Content changed: re-hash on next request and drop the memoized
+        # joint (a stale fingerprint would also alias a stale inference
+        # engine, since the engine registry keys on it).
+        self._fingerprint = None
+        self._joint_memo = None
 
     @classmethod
     def chain(cls, initial: np.ndarray, transition: np.ndarray, length: int) -> "DiscreteBayesianNetwork":
@@ -406,13 +420,23 @@ class DiscreteBayesianNetwork:
     def enumerate_joint(self) -> tuple[list[tuple[int, ...]], np.ndarray]:
         """All assignments (tuples in node order) with their probabilities.
 
-        Raises :class:`EnumerationError` beyond :data:`MAX_JOINT_SIZE`.
+        This is the brute-force **test oracle**: every inference result the
+        engine produces is checked against it (within the cap) by the
+        equivalence suite.  Raises :class:`EnumerationError` beyond
+        :data:`MAX_JOINT_SIZE`.  The enumerated joint is memoized — a sweep
+        that consults the oracle repeatedly (as the seed's
+        ``conditional_table`` did on every call) pays for the enumeration
+        once per network; ``add_node`` invalidates the memo.  Callers must
+        not mutate the returned structures.
         """
+        if self._joint_memo is not None:
+            return self._joint_memo
         size = self.joint_size()
         if size > MAX_JOINT_SIZE:
             raise EnumerationError(
                 f"joint has {size} assignments (> {MAX_JOINT_SIZE}); "
-                "use the chain-specialized algorithms instead"
+                "use marginal_of/conditional_table (variable elimination) "
+                "or the chain-specialized algorithms instead"
             )
         ranges = [range(self._states[n]) for n in self._order]
         assignments = list(itertools.product(*ranges))
@@ -426,7 +450,14 @@ class DiscreteBayesianNetwork:
                 if prob == 0.0:
                     break
             probs[row] = prob
-        return assignments, probs
+        self._joint_memo = (assignments, probs)
+        return self._joint_memo
+
+    def inference_engine(self):
+        """The memoized :class:`~repro.inference.engine.InferenceEngine`
+        for this network's current content (see
+        :func:`repro.inference.engine_for`)."""
+        return engine_for(self)
 
     def conditional_table(
         self,
@@ -435,32 +466,29 @@ class DiscreteBayesianNetwork:
     ) -> dict[tuple[int, ...], float]:
         """``P(targets = . | given)`` as a mapping from target tuples.
 
-        Raises :class:`ValidationError` when the conditioning event has zero
-        probability.
+        Computed by variable elimination (no joint-size cap); the key set
+        and values match the enumeration oracle exactly: every
+        evidence-consistent target combination appears, including
+        zero-probability ones.  Raises :class:`ValidationError` when the
+        conditioning event has zero probability.
         """
-        assignments, probs = self.enumerate_joint()
-        index = {n: i for i, n in enumerate(self._order)}
-        target_idx = [index[t] for t in targets]
-        table: dict[tuple[int, ...], float] = {}
-        total = 0.0
-        for assignment, prob in zip(assignments, probs):
-            if any(assignment[index[g]] != v for g, v in given.items()):
-                continue
-            total += prob
-            key = tuple(assignment[i] for i in target_idx)
-            table[key] = table.get(key, 0.0) + prob
-        if total <= 0:
-            raise ValidationError(f"conditioning event {dict(given)!r} has zero probability")
-        return {key: value / total for key, value in table.items()}
+        return engine_for(self).conditional_table(tuple(targets), given)
 
     def marginal_of(self, node: str) -> np.ndarray:
-        """Marginal distribution of a single node."""
-        assignments, probs = self.enumerate_joint()
-        index = {n: i for i, n in enumerate(self._order)}[node]
-        out = np.zeros(self._states[node])
-        for assignment, prob in zip(assignments, probs):
-            out[assignment[index]] += prob
-        return out
+        """Marginal distribution of a single node (variable elimination)."""
+        return engine_for(self).marginal_of(node)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the memoized joint.
+
+        Calibration shards ship networks across process boundaries; the
+        memo can hold up to :data:`MAX_JOINT_SIZE` rows, which would dwarf
+        the payload, and the worker's engine registry re-derives everything
+        it needs from the CPDs.
+        """
+        state = self.__dict__.copy()
+        state["_joint_memo"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiscreteBayesianNetwork(nodes={len(self._order)})"

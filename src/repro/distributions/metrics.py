@@ -99,6 +99,37 @@ def w_infinity(mu: DiscreteDistribution, nu: DiscreteDistribution) -> float:
     return float(np.max(np.abs(mu_q - nu_q)))
 
 
+def w_infinity_pooled(
+    atoms: np.ndarray, p_mass: np.ndarray, q_mass: np.ndarray
+) -> float:
+    """:func:`w_infinity` for two distributions given on one shared support.
+
+    ``atoms`` is the sorted pooled support; ``p_mass``/``q_mass`` are
+    matching probability vectors (zero entries allowed — an atom one
+    distribution never hits simply carries no mass).  This is the
+    all-NumPy hot path of Algorithm 1: the merged-CDF breakpoints come
+    straight from the two cumulative sums and the quantile functions are
+    two ``searchsorted`` calls, with no per-secret
+    :class:`~repro.distributions.discrete.DiscreteDistribution`
+    construction.  Zero-mass atoms never shift a quantile: their cumulative
+    value ties the preceding positive atom, and the left-sided search
+    resolves the tie to that atom.
+    """
+    atoms = np.asarray(atoms, dtype=float)
+    p_cdf = np.cumsum(np.asarray(p_mass, dtype=float))
+    q_cdf = np.cumsum(np.asarray(q_mass, dtype=float))
+    p_cdf[-1] = 1.0
+    q_cdf[-1] = 1.0
+    breaks = np.clip(np.union1d(p_cdf, q_cdf), 0.0, 1.0)
+    edges = np.concatenate([[0.0], breaks])
+    widths = np.diff(edges)
+    midpoints = (edges[:-1] + edges[1:])[widths > SUPPORT_ATOL] / 2.0
+    last = atoms.size - 1
+    p_q = atoms[np.minimum(np.searchsorted(p_cdf, midpoints, side="left"), last)]
+    q_q = atoms[np.minimum(np.searchsorted(q_cdf, midpoints, side="left"), last)]
+    return float(np.max(np.abs(p_q - q_q)))
+
+
 def renyi_divergence(
     p: DiscreteDistribution, q: DiscreteDistribution, alpha: float
 ) -> float:

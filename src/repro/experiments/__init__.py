@@ -7,6 +7,8 @@
 * :mod:`repro.experiments.table3_power` — Table 3 (E5)
 * :mod:`repro.experiments.section3_flu` — the Section 3.1 worked example (E6)
 * :mod:`repro.experiments.section44_running_example` — Section 4.4 (E7/E8)
+* :mod:`repro.experiments.general_networks` — Algorithm 2 past the old
+  enumeration cap via the variable-elimination engine (E9)
 
 Every module exposes ``run(...)`` returning report objects and a ``main()``
 that prints them next to the paper's reported values; all are runnable via

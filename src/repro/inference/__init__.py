@@ -1,0 +1,33 @@
+"""Exact inference kernels for discrete Bayesian networks.
+
+``repro.inference`` is the factor-graph variable-elimination engine that
+backs the general Markov Quilt Mechanism's hot path (and any other caller
+that needs marginals or conditionals of a
+:class:`~repro.distributions.bayesnet.DiscreteBayesianNetwork`):
+
+* :class:`~repro.inference.factor.Factor` — an ndarray over named axes;
+* :func:`~repro.inference.factor.contract` — einsum product + sum-out;
+* :class:`~repro.inference.engine.InferenceEngine` — min-fill variable
+  elimination with ``marginal_of`` / ``marginals_given`` /
+  ``conditional_table`` / batched ``conditional_tables``;
+* :func:`~repro.inference.engine.engine_for` — the per-process registry,
+  memoized by network content fingerprint.
+
+See ``docs/architecture.md`` ("ADR: einsum variable elimination") for the
+design rationale and the exactness contract versus the enumeration oracle.
+"""
+
+from repro.inference.engine import (
+    InferenceEngine,
+    clear_engine_registry,
+    engine_for,
+)
+from repro.inference.factor import Factor, contract
+
+__all__ = [
+    "Factor",
+    "InferenceEngine",
+    "clear_engine_registry",
+    "contract",
+    "engine_for",
+]

@@ -1,0 +1,310 @@
+"""Variable-elimination engine for discrete Bayesian networks.
+
+The general Markov Quilt Mechanism (Algorithm 2) needs ``P(X_Q | X_i = a)``
+for every quilt candidate and every secret value — at the seed this was
+computed by enumerating the full joint (capped at
+:data:`~repro.distributions.bayesnet.MAX_JOINT_SIZE` assignments) in Python
+loops, once per conditioning value.  This engine replaces enumeration with
+**sum-product variable elimination** over the network's CPD factors:
+
+* each query touches only the factors relevant to it (evidence is sliced in
+  before any multiplication),
+* elimination follows a **min-fill** order over the moralized factor graph,
+  memoized per query shape,
+* all products and marginalizations run as ``np.einsum`` contractions
+  (:func:`repro.inference.factor.contract`),
+* :meth:`InferenceEngine.conditional_tables` answers the mechanism's inner
+  loop *batched*: one ``(k_node, *target_shape)`` tensor holding
+  ``P(targets | node = v)`` for every ``v`` at once, from a single
+  elimination run — instead of one dict per conditioning value.
+
+Cost scales with the induced width of the elimination order, not the joint
+size, so networks far beyond the enumeration cap are exact-inference
+feasible (a 2^24-assignment chain runs in milliseconds).
+
+Engines are memoized per network **content fingerprint** through
+:func:`engine_for` — the same keying discipline as the serving layer's
+calibration cache — so repeated queries against equal networks (including a
+pickled copy in a parallel-calibration worker: shards carry networks, and
+the worker's registry rebuilds the engine plan on first use) share factors,
+orders, and cached marginals.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.inference.factor import Factor, contract
+
+#: Engines retained in the per-process registry (LRU by network fingerprint).
+MAX_CACHED_ENGINES = 64
+
+#: Batched conditional tensors retained per engine (LRU by query shape).
+MAX_CACHED_TABLES = 128
+
+
+class InferenceEngine:
+    """Sum-product inference over one fixed network.
+
+    The engine reads the network's structure and CPDs once at construction;
+    it never mutates the network and is unaffected by (and unaware of) later
+    ``add_node`` calls — :func:`engine_for` keys on the content fingerprint,
+    so a grown network simply resolves to a fresh engine.
+    """
+
+    def __init__(self, network) -> None:
+        self.nodes: tuple[str, ...] = tuple(network.nodes)
+        self._states: dict[str, int] = {n: int(network.n_states(n)) for n in self.nodes}
+        self._position: dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        self._factors: tuple[Factor, ...] = tuple(
+            Factor(tuple(network.parents(n)) + (n,), network.cpd(n)) for n in self.nodes
+        )
+        self.fingerprint: str = network.fingerprint()
+        self._order_cache: dict[tuple[frozenset, frozenset], tuple[str, ...]] = {}
+        self._marginal_cache: dict[str, np.ndarray] = {}
+        self._table_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    def n_states(self, name: str) -> int:
+        """Number of states of ``name``."""
+        return self._states[name]
+
+    def marginal_of(self, node: str) -> np.ndarray:
+        """Marginal distribution of one node (cached).
+
+        Matches the enumeration oracle's convention: the returned vector is
+        the summed joint mass, not re-normalized (it sums to 1 up to float
+        round-off because every CPD row does).
+        """
+        if node not in self._marginal_cache:
+            self._check_nodes((node,))
+            self._marginal_cache[node] = self._eliminate((node,), {}).table.copy()
+        return self._marginal_cache[node].copy()
+
+    def marginals_given(
+        self, targets: Sequence[str], given: Mapping[str, int]
+    ) -> np.ndarray:
+        """``P(targets | given)`` as a tensor over the target axes.
+
+        ``targets`` must be distinct and disjoint from ``given``.  Raises
+        :class:`~repro.exceptions.ValidationError` when the conditioning
+        event has zero probability — the same error (and message shape) the
+        enumeration path produced.
+        """
+        targets = tuple(targets)
+        if len(set(targets)) != len(targets):
+            raise ValidationError(f"targets must be distinct, got {targets!r}")
+        overlap = [t for t in targets if t in given]
+        if overlap:
+            raise ValidationError(
+                f"targets {overlap!r} also appear in the evidence; "
+                "condition on them via `given` only"
+            )
+        self._check_nodes(targets)
+        self._check_evidence(given)
+        joint = self._eliminate(targets, given).table
+        total = float(joint.sum())
+        if total <= 0.0:
+            raise ValidationError(
+                f"conditioning event {dict(given)!r} has zero probability"
+            )
+        return joint / total
+
+    def conditional_table(
+        self, targets: Sequence[str], given: Mapping[str, int]
+    ) -> dict[tuple[int, ...], float]:
+        """``P(targets = . | given)`` in the enumeration oracle's dict shape.
+
+        Target names may repeat and may appear in ``given`` (their value is
+        then pinned), exactly as the legacy
+        ``DiscreteBayesianNetwork.conditional_table`` accepted; every
+        evidence-consistent target combination is present as a key, including
+        zero-probability ones.
+        """
+        targets = tuple(targets)
+        free = tuple(dict.fromkeys(t for t in targets if t not in given))
+        tensor = self.marginals_given(free, given)
+        free_index = {name: axis for axis, name in enumerate(free)}
+        table: dict[tuple[int, ...], float] = {}
+        for idx in np.ndindex(tensor.shape):
+            key = tuple(
+                int(given[t]) if t in given else int(idx[free_index[t]]) for t in targets
+            )
+            table[key] = float(tensor[idx])
+        return table
+
+    def conditional_tables(self, targets: Sequence[str], node: str) -> np.ndarray:
+        """Batched conditionals: ``out[v]`` is ``P(targets | node = v)``.
+
+        One elimination run produces the whole ``(k_node, *target_shape)``
+        tensor — the kernel behind :func:`repro.core.markov_quilt.
+        max_influence`.  Rows for node values with zero marginal probability
+        (conditional undefined) are filled with ``np.nan``; callers restrict
+        to the supported values, as Definition 2.1 does.
+        """
+        targets = tuple(targets)
+        if node in targets:
+            raise ValidationError(f"conditioning node {node!r} cannot be a target")
+        if len(set(targets)) != len(targets):
+            raise ValidationError(f"targets must be distinct, got {targets!r}")
+        key = (targets, node)
+        cached = self._table_cache.get(key)
+        if cached is not None:
+            self._table_cache.move_to_end(key)
+            return cached
+        self._check_nodes(targets + (node,))
+        joint = self._eliminate(targets + (node,), {}).table
+        # Move the node axis first: joint axes are (targets..., node).
+        joint = np.moveaxis(joint, -1, 0)
+        totals = joint.reshape(joint.shape[0], -1).sum(axis=1)
+        out = np.full(joint.shape, np.nan)
+        positive = totals > 0.0
+        out[positive] = joint[positive] / totals[positive].reshape(
+            (-1,) + (1,) * (joint.ndim - 1)
+        )
+        # The cached tensor is handed out without copying (it can be large
+        # and every consumer only reads it); freeze it so an accidental
+        # caller mutation raises instead of corrupting the registry-shared
+        # engine — a silently wrong conditional here would mis-calibrate
+        # every later max_influence on an equal-content network.
+        out.flags.writeable = False
+        self._table_cache[key] = out
+        while len(self._table_cache) > MAX_CACHED_TABLES:
+            self._table_cache.popitem(last=False)
+        return out
+
+    # ------------------------------------------------------------------
+    # Elimination core
+    # ------------------------------------------------------------------
+    def _check_nodes(self, names: Sequence[str]) -> None:
+        unknown = [n for n in names if n not in self._states]
+        if unknown:
+            raise ValidationError(f"unknown node(s) {unknown!r}")
+
+    def _check_evidence(self, given: Mapping[str, int]) -> None:
+        self._check_nodes(tuple(given))
+        for name, value in given.items():
+            if not 0 <= int(value) < self._states[name]:
+                # An out-of-range state has probability zero by definition —
+                # surface it as the zero-probability conditioning error the
+                # enumeration path raised for the same input.
+                raise ValidationError(
+                    f"conditioning event {dict(given)!r} has zero probability"
+                )
+
+    def _eliminate(self, keep: tuple[str, ...], given: Mapping[str, int]) -> Factor:
+        """Unnormalized ``sum_{others} P(X) * 1[given]`` over the kept axes."""
+        evidence = {name: int(value) for name, value in given.items()}
+        factors: list[Factor] = []
+        scalar = 1.0
+        for factor in self._factors:
+            for var in factor.variables:
+                if var in evidence:
+                    factor = factor.restrict(var, evidence[var])
+            if factor.is_scalar:
+                scalar *= factor.scalar()
+            else:
+                factors.append(factor)
+        for var in self._elimination_order(frozenset(keep), frozenset(evidence)):
+            bucket = [f for f in factors if var in f.variables]
+            if not bucket:
+                continue
+            factors = [f for f in factors if var not in f.variables]
+            scope: set[str] = set()
+            for factor in bucket:
+                scope.update(factor.variables)
+            scope.discard(var)
+            reduced = contract(bucket, sorted(scope, key=self._position.__getitem__))
+            if reduced.is_scalar:
+                scalar *= reduced.scalar()
+            else:
+                factors.append(reduced)
+        if not factors:
+            return Factor((), np.asarray(scalar))
+        result = contract(factors, keep)
+        return Factor(keep, result.table * scalar)
+
+    def _elimination_order(
+        self, keep: frozenset, removed: frozenset
+    ) -> tuple[str, ...]:
+        """Min-fill order over the moralized factor graph (memoized).
+
+        ``removed`` is the evidence set (its variables are sliced out of
+        every scope before elimination, so they never appear in the graph).
+        Ties break by current degree, then by topological position, making
+        the order — and therefore the exact float reassociation of every
+        contraction — deterministic across runs and processes.
+        """
+        cache_key = (keep, removed)
+        cached = self._order_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        neighbors: dict[str, set[str]] = {}
+        for factor in self._factors:
+            scope = [v for v in factor.variables if v not in removed]
+            for var in scope:
+                neighbors.setdefault(var, set()).update(scope)
+        for var, adjacent in neighbors.items():
+            adjacent.discard(var)
+        to_eliminate = set(neighbors) - keep
+
+        def fill_in(var: str) -> int:
+            adjacent = tuple(neighbors[var])
+            return sum(
+                1
+                for i, a in enumerate(adjacent)
+                for b in adjacent[i + 1 :]
+                if b not in neighbors[a]
+            )
+
+        order: list[str] = []
+        while to_eliminate:
+            best = min(
+                to_eliminate,
+                key=lambda v: (fill_in(v), len(neighbors[v]), self._position[v]),
+            )
+            adjacent = neighbors.pop(best)
+            for a in adjacent:
+                neighbors[a].discard(best)
+                neighbors[a].update(adjacent - {a})
+            to_eliminate.remove(best)
+            order.append(best)
+        result = tuple(order)
+        self._order_cache[cache_key] = result
+        return result
+
+
+#: Per-process engine registry, LRU by network content fingerprint.
+_ENGINES: "OrderedDict[str, InferenceEngine]" = OrderedDict()
+
+
+def engine_for(network) -> InferenceEngine:
+    """The (memoized) engine for a network.
+
+    Keyed by :meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.
+    fingerprint`, so numerically identical networks — including copies that
+    crossed a process boundary inside a calibration shard — share one engine
+    with all its cached factors, elimination orders, and marginals.  A
+    network mutated after use re-fingerprints and resolves to a new engine.
+    """
+    fingerprint = network.fingerprint()
+    engine = _ENGINES.get(fingerprint)
+    if engine is None:
+        engine = InferenceEngine(network)
+        _ENGINES[fingerprint] = engine
+        while len(_ENGINES) > MAX_CACHED_ENGINES:
+            _ENGINES.popitem(last=False)
+    else:
+        _ENGINES.move_to_end(fingerprint)
+    return engine
+
+
+def clear_engine_registry() -> None:
+    """Drop every cached engine (test isolation helper)."""
+    _ENGINES.clear()

@@ -43,6 +43,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.laplace import Calibration, Mechanism
+from repro.core.markov_quilt import MarkovQuiltMechanism
 from repro.core.mqm_chain import MQMApprox, MQMExact
 from repro.core.queries import Query
 from repro.core.wasserstein import WassersteinMechanism
@@ -52,6 +53,7 @@ from repro.parallel.shards import (
     KIND_EPSILON,
     KIND_MQM_APPROX,
     KIND_MQM_EXACT,
+    KIND_MQM_GENERAL,
     KIND_WASSERSTEIN,
     Shard,
     ShardResult,
@@ -157,6 +159,26 @@ class ParallelCalibrator:
             return [
                 Shard(KIND_MQM_APPROX, length, (template,)) for length in missing
             ]
+        if isinstance(mechanism, MarkovQuiltMechanism):
+            # Algorithm 2: one shard per node whose quilt search is cold.
+            # Each clone ships Theta (networks pickle as their CPD arrays;
+            # the worker's inference-engine plan is rebuilt from the
+            # fingerprint-keyed registry) but only *its own node's* quilt
+            # candidates — shipping the full quilt_sets map in every shard
+            # would make total payload volume quadratic in node count.
+            missing = [
+                node
+                for node in mechanism.reference.nodes
+                if node not in mechanism._sigma_cache
+            ]
+            template = _pristine(mechanism)
+            shards = []
+            for node in missing:
+                clone = copy.copy(template)
+                clone._sigma_cache = {}
+                clone.quilt_sets = {node: mechanism.quilt_sets[node]}
+                shards.append(Shard(KIND_MQM_GENERAL, node, (clone, node)))
+            return shards
         if isinstance(mechanism, WassersteinMechanism):
             if query.output_dim != 1:
                 return []  # let the serial path raise its ValidationError
@@ -184,6 +206,13 @@ class ParallelCalibrator:
                 cost += float(shard.payload[2])
             elif shard.kind == KIND_MQM_APPROX:
                 cost += float(shard.key)
+            elif shard.kind == KIND_MQM_GENERAL:
+                # Cost hint: one variable-elimination run per candidate
+                # quilt per theta (the node's search loop body).
+                mechanism = shard.payload[0]
+                cost += 32.0 * len(mechanism.quilt_sets.get(shard.key, ())) * len(
+                    mechanism.networks
+                )
             elif shard.kind == KIND_EPSILON:
                 cost += float(sum(shard.payload[1]))
             else:
@@ -295,6 +324,10 @@ class ParallelCalibrator:
         elif isinstance(mechanism, MQMApprox):
             for result in results:
                 mechanism._sigma_cache[int(result.key)] = float(result.value)
+        elif isinstance(mechanism, MarkovQuiltMechanism):
+            for result in results:
+                sigma, quilt = result.value
+                mechanism._sigma_cache[str(result.key)] = (float(sigma), quilt)
         elif isinstance(mechanism, WassersteinMechanism):
             supremum = 0.0
             for result in results:

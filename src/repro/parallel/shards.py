@@ -9,6 +9,12 @@ of *independent* sub-computations:
   segment lengths (Algorithm 4's candidate search per length);
 * ``wasserstein_bound`` maximizes per-model suprema over the models of
   ``Theta`` (Algorithm 1's outer loop);
+* ``MarkovQuiltMechanism.sigma_max`` (Algorithm 2, general networks)
+  maximizes ``sigma_for_node`` over the nodes — each node is one quilt
+  search whose max-influence kernels run on the worker's own
+  :mod:`repro.inference` variable-elimination engine (networks pickle as
+  their CPD arrays; the engine plan is rebuilt from the fingerprint-keyed
+  registry on first use, so shard payloads stay small);
 * an epsilon sweep evaluates ``sigma_max`` per privacy level;
 * a multi-mechanism trial run calibrates each mechanism separately.
 
@@ -35,6 +41,7 @@ from repro.exceptions import ValidationError
 #: Shard kinds understood by :func:`run_shard`.
 KIND_MQM_EXACT = "mqm-exact-chain-length"
 KIND_MQM_APPROX = "mqm-approx-length"
+KIND_MQM_GENERAL = "mqm-general-node"
 KIND_WASSERSTEIN = "wasserstein-model"
 KIND_EPSILON = "epsilon-sweep"
 KIND_CALIBRATION = "mechanism-calibration"
@@ -43,6 +50,7 @@ _KNOWN_KINDS = frozenset(
     {
         KIND_MQM_EXACT,
         KIND_MQM_APPROX,
+        KIND_MQM_GENERAL,
         KIND_WASSERSTEIN,
         KIND_EPSILON,
         KIND_CALIBRATION,
@@ -94,27 +102,6 @@ class ShardResult:
     value: Any
 
 
-def _wasserstein_model_bound(instantiation, query, theta_index: int) -> float:
-    """Per-model supremum of Algorithm 1 — the body of the serial loop in
-    :func:`repro.core.wasserstein.wasserstein_bound` for one ``theta``."""
-    from repro.core.wasserstein import conditional_output_distribution
-    from repro.distributions.metrics import w_infinity
-
-    model = instantiation.models[theta_index]
-    cache: dict = {}
-
-    def conditional(secret):
-        if secret not in cache:
-            cache[secret] = conditional_output_distribution(model, query, secret)
-        return cache[secret]
-
-    supremum = 0.0
-    for pair in instantiation.admissible_pairs(model):
-        distance = w_infinity(conditional(pair.left), conditional(pair.right))
-        supremum = max(supremum, distance)
-    return float(supremum)
-
-
 def run_shard(shard: Shard) -> ShardResult:
     """Execute one shard; runs in a worker process or inline (serial
     fallback) — both paths produce the identical value by construction."""
@@ -129,9 +116,18 @@ def run_shard(shard: Shard) -> ShardResult:
         (mechanism,) = shard.payload
         value = float(mechanism._sigma_for_length(int(shard.key)))
         return ShardResult(shard.kind, shard.key, value)
+    if shard.kind == KIND_MQM_GENERAL:
+        # One node's quilt search (Definition 4.5).  The worker resolves the
+        # networks through its own engine registry, so repeated shards for
+        # one Theta share factors and elimination orders within the process.
+        mechanism, node = shard.payload
+        sigma, quilt = mechanism.sigma_for_node(node)
+        return ShardResult(shard.kind, shard.key, (float(sigma), quilt))
     if shard.kind == KIND_WASSERSTEIN:
+        from repro.core.wasserstein import model_supremum
+
         instantiation, query, theta_index = shard.payload
-        value = _wasserstein_model_bound(instantiation, query, theta_index)
+        value = float(model_supremum(instantiation, query, theta_index))
         return ShardResult(shard.kind, shard.key, value)
     if shard.kind == KIND_EPSILON:
         mechanism, lengths = shard.payload

@@ -113,3 +113,23 @@ class TestWorkedExampleModules:
             13.0219, abs=2e-4
         )
         assert run_rows["sigma(theta2)"][0] == pytest.approx(10.6402, abs=2e-4)
+
+
+class TestGeneralNetworksModule:
+    def test_tree_sweep_includes_beyond_cap(self):
+        from repro.distributions.bayesnet import MAX_JOINT_SIZE
+        from repro.experiments import general_networks
+
+        table = general_networks.run(depths=(2, 3), epsilon=2.0, max_radius=3)
+        rows = table.to_dict()
+        assert set(rows) == {"2", "3"}
+        # Sigma grows with the tree but stays far below the trivial-quilt
+        # bound (n / eps) once non-trivial quilts are admissible.
+        assert 0 < rows["2"][3] <= 7 / 2.0
+        assert 0 < rows["3"][3] <= 15 / 2.0
+
+    def test_chain_parity_beyond_cap(self):
+        from repro.experiments import general_networks
+
+        general, exact = general_networks.chain_parity(length=12, epsilon=2.0)
+        assert general == pytest.approx(exact, rel=1e-9)

@@ -1,0 +1,381 @@
+"""Equivalence suite for the variable-elimination engine.
+
+Every inference result the engine produces is checked against the
+brute-force enumeration oracle (``enumerate_joint``) wherever the oracle is
+feasible, to ``rtol=1e-12``; beyond the oracle's cap the engine is checked
+against closed-form chain quantities and the chain-specialized Algorithm 3.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
+from repro.core.mqm_chain import MQMExact, chain_max_influence
+from repro.distributions.bayesnet import MAX_JOINT_SIZE, DiscreteBayesianNetwork
+from repro.distributions.chain_family import FiniteChainFamily
+from repro.distributions.markov import MarkovChain
+from repro.exceptions import EnumerationError, ValidationError
+from repro.inference import InferenceEngine, engine_for
+from repro.inference.factor import Factor, _einsum, contract
+
+INITIAL = np.array([0.6, 0.4])
+TRANSITION = np.array([[0.85, 0.15], [0.2, 0.8]])
+
+
+# ----------------------------------------------------------------------
+# Network builders
+# ----------------------------------------------------------------------
+def random_network(
+    seed: int, n_nodes: int, *, max_parents: int = 3, max_states: int = 3
+) -> DiscreteBayesianNetwork:
+    """A random DAG: chains, trees, v-structures, and disconnected
+    components all arise from the random parent draws."""
+    rng = np.random.default_rng(seed)
+    net = DiscreteBayesianNetwork()
+    names = [f"N{i}" for i in range(n_nodes)]
+    for i, name in enumerate(names):
+        k = int(rng.integers(1, max_states + 1))
+        n_parents = int(rng.integers(0, min(i, max_parents) + 1))
+        parents = (
+            [str(p) for p in rng.choice(names[:i], size=n_parents, replace=False)]
+            if n_parents
+            else []
+        )
+        shape = tuple(net.n_states(p) for p in parents) + (k,)
+        table = rng.random(shape) + 0.05
+        table /= table.sum(axis=-1, keepdims=True)
+        net.add_node(name, k, parents=parents, cpd=table)
+    return net
+
+
+def v_structure_network() -> DiscreteBayesianNetwork:
+    """A -> C <- B: the collider whose moralization marries A and B."""
+    net = DiscreteBayesianNetwork()
+    net.add_node("A", 2, cpd=[0.3, 0.7])
+    net.add_node("B", 3, cpd=[0.2, 0.5, 0.3])
+    cpd = np.array(
+        [
+            [[0.9, 0.1], [0.6, 0.4], [0.5, 0.5]],
+            [[0.2, 0.8], [0.3, 0.7], [0.25, 0.75]],
+        ]
+    ).transpose(0, 1, 2)
+    net.add_node("C", 2, parents=["A", "B"], cpd=cpd)
+    return net
+
+
+def disconnected_network() -> DiscreteBayesianNetwork:
+    """Two independent components (one a chain, one a lone node)."""
+    net = DiscreteBayesianNetwork()
+    net.add_node("X1", 2, cpd=[0.6, 0.4])
+    net.add_node("X2", 2, parents=["X1"], cpd=[[0.9, 0.1], [0.3, 0.7]])
+    net.add_node("Y", 3, cpd=[0.5, 0.25, 0.25])
+    return net
+
+
+def oracle_marginal(net: DiscreteBayesianNetwork, node: str) -> np.ndarray:
+    assignments, probs = net.enumerate_joint()
+    index = {n: i for i, n in enumerate(net.nodes)}[node]
+    out = np.zeros(net.n_states(node))
+    for assignment, prob in zip(assignments, probs):
+        out[assignment[index]] += prob
+    return out
+
+
+def oracle_conditional(net, targets, given):
+    """The seed's enumeration-based conditional table, verbatim."""
+    assignments, probs = net.enumerate_joint()
+    index = {n: i for i, n in enumerate(net.nodes)}
+    target_idx = [index[t] for t in targets]
+    table: dict = {}
+    total = 0.0
+    for assignment, prob in zip(assignments, probs):
+        if any(assignment[index[g]] != v for g, v in given.items()):
+            continue
+        total += prob
+        key = tuple(assignment[i] for i in target_idx)
+        table[key] = table.get(key, 0.0) + prob
+    if total <= 0:
+        raise ValidationError(f"conditioning event {dict(given)!r} has zero probability")
+    return {key: value / total for key, value in table.items()}
+
+
+# ----------------------------------------------------------------------
+# Factor primitives
+# ----------------------------------------------------------------------
+class TestFactor:
+    def test_restrict_slices_named_axis(self):
+        factor = Factor(("A", "B"), np.arange(6.0).reshape(2, 3))
+        restricted = factor.restrict("B", 2)
+        assert restricted.variables == ("A",)
+        np.testing.assert_allclose(restricted.table, [2.0, 5.0])
+
+    def test_table_rank_must_match_variables(self):
+        with pytest.raises(ValidationError):
+            Factor(("A",), np.zeros((2, 2)))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValidationError):
+            Factor(("A", "A"), np.zeros((2, 2)))
+
+    def test_contract_unknown_keep_variable(self):
+        with pytest.raises(ValidationError):
+            contract([Factor(("A",), np.array([0.5, 0.5]))], ("B",))
+
+    def test_contract_matches_manual_product(self):
+        a = Factor(("A",), np.array([0.25, 0.75]))
+        b = Factor(("A", "B"), np.array([[0.9, 0.1], [0.4, 0.6]]))
+        out = contract([a, b], ("B",))
+        np.testing.assert_allclose(out.table, a.table @ b.table)
+
+    def test_contract_folds_long_products(self):
+        """More operands than one einsum call accepts: fold in chunks."""
+        n = 60
+        factors = [Factor((f"V{i}", f"V{i+1}"), np.full((2, 2), 0.5)) for i in range(n)]
+        out = contract(factors, (f"V{n}",))
+        # Each [[.5,.5],[.5,.5]] step preserves column sums of 1, so the
+        # fully-summed chain is exactly 1 at every terminal value.
+        np.testing.assert_allclose(out.table, np.ones(2))
+
+    def test_einsum_label_limit_guard(self):
+        factors = [Factor((f"V{i}",), np.ones(2)) for i in range(53)]
+        with pytest.raises(EnumerationError):
+            _einsum(factors, ())
+
+
+# ----------------------------------------------------------------------
+# Engine versus the enumeration oracle
+# ----------------------------------------------------------------------
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_dag_marginals(self, seed):
+        net = random_network(seed, 2 + seed % 7)
+        engine = engine_for(net)
+        for node in net.nodes:
+            np.testing.assert_allclose(
+                engine.marginal_of(node),
+                oracle_marginal(net, node),
+                rtol=1e-12,
+                atol=1e-15,
+            )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_dag_conditional_tables(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        net = random_network(seed, 3 + seed % 6)
+        nodes = list(net.nodes)
+        targets = [n for n in nodes if rng.random() < 0.5][:3] or [nodes[0]]
+        evidence_pool = [n for n in nodes if n not in targets]
+        given = {
+            n: int(rng.integers(0, net.n_states(n)))
+            for n in evidence_pool
+            if rng.random() < 0.4
+        }
+        try:
+            expected = oracle_conditional(net, targets, given)
+        except ValidationError:
+            with pytest.raises(ValidationError):
+                net.conditional_table(targets, given)
+            return
+        actual = net.conditional_table(targets, given)
+        assert set(actual) == set(expected)
+        for key, value in expected.items():
+            np.testing.assert_allclose(actual[key], value, rtol=1e-12, atol=1e-15)
+
+    @pytest.mark.parametrize(
+        "net_builder",
+        [
+            lambda: DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 5),
+            v_structure_network,
+            disconnected_network,
+        ],
+        ids=["chain", "v-structure", "disconnected"],
+    )
+    def test_structured_networks(self, net_builder):
+        net = net_builder()
+        engine = engine_for(net)
+        for node in net.nodes:
+            np.testing.assert_allclose(
+                engine.marginal_of(node), oracle_marginal(net, node), rtol=1e-12
+            )
+        targets = [net.nodes[0]]
+        given = {net.nodes[-1]: 0}
+        expected = oracle_conditional(net, targets, given)
+        actual = net.conditional_table(targets, given)
+        for key, value in expected.items():
+            np.testing.assert_allclose(actual[key], value, rtol=1e-12)
+
+    def test_batched_conditional_tables_match_per_value(self):
+        net = random_network(7, 6)
+        engine = engine_for(net)
+        node = net.nodes[-1]
+        targets = tuple(net.nodes[:2])
+        tensor = engine.conditional_tables(targets, node)
+        marginal = engine.marginal_of(node)
+        assert tensor.shape == (net.n_states(node),) + tuple(
+            net.n_states(t) for t in targets
+        )
+        for value in range(net.n_states(node)):
+            if marginal[value] <= 1e-12:
+                assert np.isnan(tensor[value]).all()
+                continue
+            table = net.conditional_table(list(targets), {node: value})
+            for key, prob in table.items():
+                np.testing.assert_allclose(tensor[(value,) + key], prob, rtol=1e-12)
+
+    def test_conditional_table_with_pinned_target(self):
+        """Targets appearing in the evidence stay supported (legacy shape)."""
+        net = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 4)
+        expected = oracle_conditional(net, ["X1", "X3"], {"X3": 1})
+        actual = net.conditional_table(["X1", "X3"], {"X3": 1})
+        assert set(actual) == set(expected)
+        for key, value in expected.items():
+            np.testing.assert_allclose(actual[key], value, rtol=1e-12)
+
+    def test_conditional_tables_rejects_target_node_overlap(self):
+        net = disconnected_network()
+        with pytest.raises(ValidationError):
+            engine_for(net).conditional_tables(("X1",), "X1")
+
+    def test_unknown_node_rejected(self):
+        net = disconnected_network()
+        with pytest.raises(ValidationError):
+            engine_for(net).marginal_of("nope")
+
+
+class TestZeroProbabilityEvidenceParity:
+    """The engine raises the same error, with the same message shape, as
+    the enumeration oracle for impossible conditioning events."""
+
+    @pytest.fixture
+    def deterministic_net(self):
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[1.0, 0.0])  # state 1 impossible
+        net.add_node("B", 2, parents=["A"], cpd=[[0.5, 0.5], [0.5, 0.5]])
+        return net
+
+    def test_both_paths_raise_validation_error(self, deterministic_net):
+        net = deterministic_net
+        with pytest.raises(ValidationError) as oracle_error:
+            oracle_conditional(net, ["B"], {"A": 1})
+        with pytest.raises(ValidationError) as engine_error:
+            net.conditional_table(["B"], {"A": 1})
+        assert str(oracle_error.value) == str(engine_error.value)
+
+    def test_out_of_range_evidence_is_zero_probability(self, deterministic_net):
+        """A state index outside ``0..k-1`` matches no assignment — the
+        oracle reported that as a zero-probability event, and so does the
+        engine."""
+        net = deterministic_net
+        with pytest.raises(ValidationError, match="zero probability"):
+            net.conditional_table(["B"], {"A": 5})
+
+    def test_marginals_given_zero_evidence(self, deterministic_net):
+        with pytest.raises(ValidationError, match="zero probability"):
+            engine_for(deterministic_net).marginals_given(("B",), {"A": 1})
+
+
+# ----------------------------------------------------------------------
+# Beyond the enumeration cap
+# ----------------------------------------------------------------------
+class TestBeyondEnumerationCap:
+    @pytest.fixture(scope="class")
+    def big_chain_net(self):
+        # 2^24 assignments — 8x past MAX_JOINT_SIZE.
+        return DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 24)
+
+    def test_network_exceeds_cap(self, big_chain_net):
+        assert big_chain_net.joint_size() > MAX_JOINT_SIZE
+        with pytest.raises(EnumerationError):
+            big_chain_net.enumerate_joint()
+
+    def test_marginal_matches_chain_closed_form(self, big_chain_net):
+        chain = MarkovChain(INITIAL, TRANSITION)
+        for t in (0, 11, 23):
+            np.testing.assert_allclose(
+                big_chain_net.marginal_of(f"X{t + 1}"), chain.marginal(t), atol=1e-12
+            )
+
+    def test_max_influence_matches_chain_formula(self, big_chain_net):
+        chain = MarkovChain(INITIAL, TRANSITION)
+        quilt = big_chain_net.quilt_from_set("X12", {"X9", "X14"})
+        assert quilt is not None
+        np.testing.assert_allclose(
+            max_influence([big_chain_net], quilt),
+            chain_max_influence(chain, 11, 3, 2),
+            rtol=1e-10,
+        )
+
+    def test_algorithm2_calibrates_beyond_cap(self, big_chain_net):
+        """Impossible at seed: the quilt search needed the full joint."""
+        quilt_sets = {
+            node: big_chain_net.chain_quilts(node, max_window=3)
+            for node in big_chain_net.nodes
+        }
+        mechanism = MarkovQuiltMechanism(
+            [big_chain_net], epsilon=2.0, quilt_sets=quilt_sets
+        )
+        sigma = mechanism.sigma_max()
+        assert np.isfinite(sigma) and sigma > 0
+
+    def test_algorithm2_matches_mqm_exact_beyond_cap(self, big_chain_net):
+        """MQMExact-versus-Algorithm 2 parity on a path graph whose joint
+        the seed could not even enumerate.  The full (unwindowed) Lemma 4.6
+        quilt set makes both searches range over identical candidates."""
+        length, epsilon = 24, 2.0
+        quilt_sets = {
+            node: big_chain_net.chain_quilts(node) for node in big_chain_net.nodes
+        }
+        general = MarkovQuiltMechanism(
+            [big_chain_net], epsilon=epsilon, quilt_sets=quilt_sets
+        )
+        chain = MarkovChain(INITIAL, TRANSITION)
+        exact = MQMExact(FiniteChainFamily([chain]), epsilon, max_window=length)
+        np.testing.assert_allclose(
+            general.sigma_max(), exact.sigma_max(length), rtol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Memoization and registry behavior
+# ----------------------------------------------------------------------
+class TestMemoization:
+    def test_enumerate_joint_is_memoized(self):
+        net = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 5)
+        first = net.enumerate_joint()
+        assert net.enumerate_joint() is first
+
+    def test_add_node_invalidates_joint_memo(self):
+        net = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 3)
+        first = net.enumerate_joint()
+        net.add_node("extra", 2, parents=["X3"], cpd=TRANSITION)
+        second = net.enumerate_joint()
+        assert second is not first
+        assert len(second[0]) == 2 * len(first[0])
+
+    def test_pickle_drops_joint_memo(self):
+        net = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 4)
+        net.enumerate_joint()
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone._joint_memo is None
+        assert clone.fingerprint() == net.fingerprint()
+        np.testing.assert_allclose(clone.marginal_of("X2"), net.marginal_of("X2"))
+
+    def test_engine_registry_shares_by_content(self):
+        a = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 4)
+        b = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 4)
+        assert engine_for(a) is engine_for(b)
+
+    def test_mutated_network_gets_fresh_engine(self):
+        net = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 3)
+        before = engine_for(net)
+        net.add_node("extra", 2, parents=["X3"], cpd=TRANSITION)
+        assert engine_for(net) is not before
+
+    def test_engine_usable_without_registry(self):
+        net = v_structure_network()
+        engine = InferenceEngine(net)
+        np.testing.assert_allclose(
+            engine.marginal_of("C"), oracle_marginal(net, "C"), rtol=1e-12
+        )

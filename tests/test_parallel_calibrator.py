@@ -308,3 +308,96 @@ def test_as_calibrator_normalization():
         as_calibrator("four")
     with pytest.raises(ValidationError):
         ParallelCalibrator(max_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 (general networks): per-node shards
+# ----------------------------------------------------------------------
+def _tree_network():
+    from repro.distributions.bayesnet import DiscreteBayesianNetwork
+
+    contagion = np.array([[0.85, 0.15], [0.45, 0.55]])
+    net = DiscreteBayesianNetwork()
+    net.add_node("source", 2, cpd=[0.7, 0.3])
+    net.add_node("hhA1", 2, parents=["source"], cpd=contagion)
+    net.add_node("hhA2", 2, parents=["hhA1"], cpd=contagion)
+    net.add_node("hhB1", 2, parents=["source"], cpd=contagion)
+    net.add_node("hhB2", 2, parents=["hhB1"], cpd=contagion)
+    net.add_node("hhB3", 2, parents=["hhB2"], cpd=contagion)
+    return net
+
+
+def test_mqm_general_bit_identical():
+    """Algorithm 2 shards per node; scales, per-node sigmas, active quilts,
+    and the composition signature all match the serial run exactly."""
+    from repro.core.markov_quilt import MarkovQuiltMechanism
+    from repro.core.queries import CountQuery
+
+    query = CountQuery()
+    data = np.zeros(6, dtype=int)
+    serial_mech = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    serial = serial_mech.calibrate(query, data)
+    factory = CountingFactory()
+    parallel_mech = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    parallel = _pooled(executor_factory=factory).calibrate(parallel_mech, query, data)
+    assert factory.calls == 1
+    assert parallel.scale == serial.scale
+    assert parallel.details == serial.details
+    assert parallel_mech._sigma_cache == serial_mech._sigma_cache
+    assert parallel_mech.quilt_signature() == serial_mech.quilt_signature()
+    assert parallel_mech.active_quilts() == serial_mech.active_quilts()
+
+
+def test_mqm_general_plan_one_shard_per_cold_node():
+    from repro.core.markov_quilt import MarkovQuiltMechanism
+    from repro.core.queries import CountQuery
+
+    mechanism = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    calibrator = _pooled()
+    plan = calibrator.plan(mechanism, CountQuery(), np.zeros(6, dtype=int))
+    assert [shard.key for shard in plan] == list(mechanism.reference.nodes)
+    # Warm one node: it must drop out of the next plan.
+    mechanism.sigma_for_node("source")
+    replanned = calibrator.plan(mechanism, CountQuery(), np.zeros(6, dtype=int))
+    assert [shard.key for shard in replanned] == [
+        n for n in mechanism.reference.nodes if n != "source"
+    ]
+    # Full calibration leaves nothing to shard.
+    calibrator.calibrate(mechanism, CountQuery(), np.zeros(6, dtype=int))
+    assert calibrator.plan(mechanism, CountQuery(), np.zeros(6, dtype=int)) == []
+
+
+def test_mqm_general_single_worker_inline_identical():
+    from repro.core.markov_quilt import MarkovQuiltMechanism
+    from repro.core.queries import CountQuery
+
+    query = CountQuery()
+    data = np.zeros(6, dtype=int)
+    serial = MarkovQuiltMechanism([_tree_network()], epsilon=4.0).calibrate(query, data)
+    inline_mech = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    calibrator = ParallelCalibrator(
+        max_workers=1, min_parallel_cost=0.0, executor_factory=_forbidden_factory
+    )
+    inline = calibrator.calibrate(inline_mech, query, data)
+    assert calibrator.serial_runs == 1 and calibrator.pool_runs == 0
+    assert inline.scale == serial.scale
+
+
+def test_mqm_general_warm_start_via_engine_cache(tmp_path):
+    """A PrivacyEngine serving Algorithm 2 restores per-node quilt state
+    from the shared calibration cache across mechanism instances."""
+    from repro.core.markov_quilt import MarkovQuiltMechanism
+    from repro.core.queries import CountQuery
+
+    query = CountQuery()
+    data = np.zeros(6, dtype=int)
+    backend = JSONFileCache(tmp_path / "calibrations.json")
+    first = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    engine_a = PrivacyEngine(first, cache=CalibrationCache(backend=backend))
+    scale = engine_a.calibrate(query, data).scale
+    second = MarkovQuiltMechanism([_tree_network()], epsilon=4.0)
+    engine_b = PrivacyEngine(second, cache=CalibrationCache(backend=backend))
+    assert engine_b.calibrate(query, data).scale == scale
+    # The warm start restored the full per-node search, not just the scale.
+    assert second._sigma_cache.keys() == first._sigma_cache.keys()
+    assert second.quilt_signature() == first.quilt_signature()

@@ -5,16 +5,27 @@ import pytest
 
 from repro.core.framework import Secret, SecretPair, entrywise_instantiation
 from repro.core.models import FluCliqueModel, MarkovChainModel, TabularDataModel
-from repro.core.queries import CountQuery, StateFrequencyQuery
+from repro.core.queries import (
+    CountQuery,
+    MeanQuery,
+    ScalarQuery,
+    StateFrequencyQuery,
+    SumQuery,
+)
 from repro.core.wasserstein import (
+    ModelOutputTable,
     WassersteinMechanism,
     conditional_output_distribution,
     group_sensitivity,
     independence_groups,
+    mixed_radix_assignments,
+    model_supremum,
     wasserstein_bound,
 )
+from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.markov import MarkovChain
-from repro.exceptions import ValidationError
+from repro.distributions.metrics import w_infinity, w_infinity_pooled
+from repro.exceptions import EnumerationError, ValidationError
 
 
 @pytest.fixture
@@ -136,3 +147,174 @@ class TestIndependenceGroups:
     def test_two_cliques_are_two_groups(self):
         model = FluCliqueModel([2, 2], [[0.5, 0.0, 0.5], [0.5, 0.0, 0.5]])
         assert independence_groups([model]) == [[0, 1], [2, 3]]
+
+
+class TestVectorizedKernels:
+    """The tensorized Algorithm 1 substrate against the seed's per-secret
+    generator walks, and the pooled W-infinity against the distribution
+    objects — value parity to 1e-12."""
+
+    def _legacy_conditional(self, model, query, secret):
+        """The seed's conditional_output_distribution, verbatim."""
+        pairs = []
+        total = 0.0
+        for row, prob in model.support():
+            if row[secret.index] == secret.value:
+                pairs.append((float(query(np.asarray(row))), prob))
+                total += prob
+        if total <= 0:
+            raise ValidationError("zero probability")
+        return DiscreteDistribution.from_pairs((v, p / total) for v, p in pairs)
+
+    @pytest.mark.parametrize("length", [3, 5])
+    def test_model_output_table_matches_legacy(self, length):
+        chain = MarkovChain([0.6, 0.4], [[0.85, 0.15], [0.2, 0.8]])
+        model = MarkovChainModel(chain, length)
+        query = CountQuery()
+        table = ModelOutputTable(model, query)
+        for index in range(length):
+            for value in range(2):
+                secret = Secret(index, value)
+                legacy = self._legacy_conditional(model, query, secret)
+                mine = conditional_output_distribution(model, query, secret, table=table)
+                np.testing.assert_allclose(mine.atoms, legacy.atoms, rtol=1e-12)
+                np.testing.assert_allclose(mine.probs, legacy.probs, rtol=1e-12)
+
+    def test_pooled_w_infinity_matches_distribution_form(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            n = int(rng.integers(2, 9))
+            atoms = np.sort(rng.choice(np.arange(20.0), size=n, replace=False))
+            wa = rng.random(n) * (rng.random(n) > 0.3)
+            wb = rng.random(n) * (rng.random(n) > 0.3)
+            if wa.sum() <= 0 or wb.sum() <= 0:
+                continue
+            wa, wb = wa / wa.sum(), wb / wb.sum()
+            mu = DiscreteDistribution.from_pairs(zip(atoms, wa))
+            nu = DiscreteDistribution.from_pairs(zip(atoms, wb))
+            np.testing.assert_allclose(
+                w_infinity_pooled(atoms, wa, wb), w_infinity(mu, nu), rtol=1e-12
+            )
+
+    def test_wasserstein_bound_matches_legacy_loop(self, flu_instantiation):
+        """The full Algorithm 1 loop, reimplemented the seed's way."""
+        query = CountQuery()
+        supremum = 0.0
+        for model in flu_instantiation.models:
+            for pair in flu_instantiation.admissible_pairs(model):
+                distance = w_infinity(
+                    self._legacy_conditional(model, query, pair.left),
+                    self._legacy_conditional(model, query, pair.right),
+                )
+                supremum = max(supremum, distance)
+        np.testing.assert_allclose(
+            wasserstein_bound(flu_instantiation, query), supremum, rtol=1e-12
+        )
+
+    def test_model_supremum_composes_to_bound(self, flu_instantiation):
+        query = CountQuery()
+        per_model = [
+            model_supremum(flu_instantiation, query, theta_index)
+            for theta_index in range(len(flu_instantiation.models))
+        ]
+        assert wasserstein_bound(flu_instantiation, query) == max(per_model)
+
+    def test_table_rejects_vector_queries(self, flu_instantiation):
+        from repro.core.queries import RelativeFrequencyHistogram
+
+        with pytest.raises(ValidationError):
+            ModelOutputTable(
+                flu_instantiation.models[0], RelativeFrequencyHistogram(2, 4)
+            )
+
+
+class TestBatchEvaluation:
+    """``Query.evaluate_batch`` must agree with the per-row loop exactly."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            CountQuery(),
+            CountQuery(lambda x: x == 1),
+            StateFrequencyQuery(1, 5),
+            SumQuery(0.0, 2.0),
+            MeanQuery(0.0, 2.0, 5),
+            ScalarQuery(lambda x: float(np.sum(x % 2)), 1.0),
+        ],
+        ids=["count", "count-predicate", "state-freq", "sum", "mean", "scalar"],
+    )
+    def test_batch_matches_rowwise(self, query):
+        rng = np.random.default_rng(11)
+        rows = rng.integers(0, 3, size=(40, 5))
+        batched = query.evaluate_batch(rows)
+        rowwise = np.array([float(query(row)) for row in rows])
+        np.testing.assert_array_equal(batched, rowwise)
+
+    def test_vector_query_rejected(self):
+        from repro.core.queries import RelativeFrequencyHistogram
+
+        with pytest.raises(ValidationError):
+            RelativeFrequencyHistogram(2, 4).evaluate_batch(np.zeros((3, 4), dtype=int))
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ValidationError):
+            StateFrequencyQuery(1, 5).evaluate_batch(np.zeros((3, 4), dtype=int))
+
+
+class TestGroupSensitivityVectorized:
+    """The mixed-radix + reduceat search against a brute-force reference."""
+
+    def _legacy_group_sensitivity(self, query, n_values, n_records, groups):
+        """The seed's per-group itertools.product walk, verbatim."""
+        import itertools
+
+        indices = list(range(n_records))
+        sensitivity = 0.0
+        for group in groups:
+            group = sorted(set(group))
+            complement = [i for i in indices if i not in group]
+            extremes = {}
+            for assignment in itertools.product(range(n_values), repeat=n_records):
+                value = float(query(np.asarray(assignment)))
+                key = tuple(assignment[i] for i in complement)
+                low, high = extremes.get(key, (value, value))
+                extremes[key] = (min(low, value), max(high, value))
+            for low, high in extremes.values():
+                sensitivity = max(sensitivity, high - low)
+        return sensitivity
+
+    def test_mixed_radix_assignments_order(self):
+        import itertools
+
+        assignments = mixed_radix_assignments(3, 4)
+        expected = np.array(list(itertools.product(range(3), repeat=4)))
+        np.testing.assert_array_equal(assignments, expected)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            CountQuery(),
+            SumQuery(0.0, 1.5),
+            ScalarQuery(lambda x: float(np.max(x) - np.min(x)), 2.0),
+        ],
+        ids=["count", "sum", "scalar-range"],
+    )
+    @pytest.mark.parametrize(
+        "groups",
+        [[[0, 1, 2, 3]], [[0], [1], [2], [3]], [[0, 2], [1, 3]], [[1, 2, 3]]],
+        ids=["one-group", "singletons", "interleaved", "partial"],
+    )
+    def test_matches_legacy(self, query, groups):
+        vectorized = group_sensitivity(query, 3, 4, groups)
+        legacy = self._legacy_group_sensitivity(query, 3, 4, groups)
+        assert vectorized == pytest.approx(legacy, abs=1e-12)
+
+    def test_group_covering_all_records(self):
+        query = CountQuery()
+        assert group_sensitivity(query, 2, 3, [[0, 1, 2]]) == pytest.approx(
+            self._legacy_group_sensitivity(query, 2, 3, [[0, 1, 2]])
+        )
+
+    def test_enumeration_cap_still_enforced(self):
+        with pytest.raises(EnumerationError):
+            group_sensitivity(CountQuery(), 10, 10, [[0]], max_enumeration=1000)
