@@ -1,0 +1,123 @@
+"""Benchmark E10 — structured-scenario quilt generators versus shells.
+
+For each structured family (grid, hub-and-spoke, household blocks) this
+records the Algorithm 2 noise multiplier under the family's dedicated quilt
+generator and under the default distance shells, plus both calibration wall
+times, to ``results/BENCH_structured.json``.  Unlike the pure-speed
+benchmarks the headline trajectory here is *noise*, not seconds: the
+``noise_ratio`` column is how much more Laplace scale the shell baseline
+needs on the same network at the same epsilon.
+
+Assertions (all run in quick mode too — the quantities are deterministic
+sigma math, not timings):
+
+* **never worse**: every structured generator merges the distance shells
+  into its candidate set, so its sigma_max can never exceed the baseline's;
+* **strictly better somewhere**: at least one family shows a strict noise
+  reduction (household blocks' disconnection dividend guarantees one);
+* **parallel bit-identity**: a 2-worker sharded calibration of every
+  structured scenario produces the identical scale and identical per-node
+  ``(sigma, active quilt)`` state as the serial path.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import QUICK, record_trajectory
+from repro.core.markov_quilt import MarkovQuiltMechanism
+from repro.core.queries import CountQuery
+from repro.experiments.structured_scenarios import default_families, sigma_comparison
+from repro.parallel import ParallelCalibrator
+
+FAMILIES = default_families(quick=QUICK)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    entries = []
+    for scenario, epsilon in FAMILIES:
+        record = dict(sigma_comparison(scenario, epsilon))
+        record["op"] = "sigma_comparison"
+        entries.append(record)
+
+        query = CountQuery()
+        data = np.zeros(len(scenario.reference.nodes), dtype=int)
+        serial_mech = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        start = time.perf_counter()
+        serial = serial_mech.calibrate(query, data)
+        serial_seconds = time.perf_counter() - start
+        sharded_mech = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        calibrator = ParallelCalibrator(max_workers=2, min_parallel_cost=0.0)
+        start = time.perf_counter()
+        sharded = calibrator.calibrate(sharded_mech, query, data)
+        sharded_seconds = time.perf_counter() - start
+        entries.append(
+            {
+                "op": "parallel_calibration",
+                "family": scenario.name,
+                "epsilon": epsilon,
+                "workers": 2,
+                "serial_s": serial_seconds,
+                "sharded_s": sharded_seconds,
+                "bit_identical": bool(
+                    sharded.scale == serial.scale
+                    and sharded_mech._sigma_cache == serial_mech._sigma_cache
+                ),
+                "pool_runs": calibrator.pool_runs,
+            }
+        )
+    record_trajectory(
+        "structured",
+        entries,
+        meta={"families": [scenario.name for scenario, _ in FAMILIES]},
+    )
+    return entries
+
+
+def _by_op(trajectory, op):
+    return [entry for entry in trajectory if entry["op"] == op]
+
+
+def test_structured_never_worse_than_shells(trajectory):
+    """Acceptance: sigma_max under the dedicated generator <= the distance
+    shell baseline for every family (the generators merge the shells in)."""
+    comparisons = _by_op(trajectory, "sigma_comparison")
+    assert len(comparisons) == len(FAMILIES)
+    for entry in comparisons:
+        assert entry["structured_sigma"] <= entry["baseline_sigma"] + 1e-12, entry
+
+
+def test_structured_strictly_better_somewhere(trajectory):
+    """Acceptance: at least one family shows a strict noise reduction —
+    the blocks family's empty-separator dividend holds at every size."""
+    ratios = [e["noise_ratio"] for e in _by_op(trajectory, "sigma_comparison")]
+    assert max(ratios) > 1.0 + 1e-9, ratios
+
+
+def test_parallel_calibration_bit_identical(trajectory):
+    """Acceptance: 2-worker sharded calibration of every structured
+    scenario matches serial exactly (scale and per-node quilt state)."""
+    runs = _by_op(trajectory, "parallel_calibration")
+    assert len(runs) == len(FAMILIES)
+    for entry in runs:
+        assert entry["bit_identical"] is True, entry
+        assert entry["pool_runs"] == 1, entry
+
+
+def test_structured_calibration_rate(benchmark):
+    scenario, epsilon = FAMILIES[0]
+
+    def calibrate():
+        mechanism = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        return mechanism.sigma_max()
+
+    sigma = benchmark.pedantic(calibrate, rounds=2, iterations=1)
+    assert np.isfinite(sigma)

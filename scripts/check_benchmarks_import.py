@@ -16,6 +16,18 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
+#: Benchmarks that must exist — a rename or deletion of one of these is a
+#: coverage regression the glob alone would silently absorb.
+REQUIRED = frozenset(
+    {
+        "benchmarks.bench_engine_throughput",
+        "benchmarks.bench_inference",
+        "benchmarks.bench_parallel_calibration",
+        "benchmarks.bench_structured",
+        "benchmarks.bench_wasserstein",
+    }
+)
+
 
 def benchmark_modules() -> list[str]:
     """Dotted module names for every ``benchmarks/*.py`` file."""
@@ -32,6 +44,10 @@ def main() -> int:
     for entry in (str(ROOT), str(ROOT / "src")):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    missing = REQUIRED - set(benchmark_modules())
+    if missing:
+        print(f"required benchmark module(s) missing from benchmarks/: {sorted(missing)}")
+        return 1
     failures = []
     for name in benchmark_modules():
         try:

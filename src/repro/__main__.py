@@ -34,6 +34,7 @@ EXPERIMENTS = (
     "section3_flu",
     "section44_running_example",
     "general_networks",
+    "structured_scenarios",
 )
 
 
@@ -171,7 +172,12 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
-    p_exp.add_argument("name", choices=("all", *EXPERIMENTS))
+    # Accept dashed spellings (structured-scenarios == structured_scenarios).
+    p_exp.add_argument(
+        "name",
+        type=lambda s: s.replace("-", "_"),
+        choices=("all", *EXPERIMENTS),
+    )
     p_exp.add_argument("--profile", choices=("fast", "full"), default="fast")
     p_exp.set_defaults(func=_cmd_experiments)
 

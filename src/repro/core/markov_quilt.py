@@ -17,9 +17,12 @@ specialization in :mod:`repro.core.mqm_chain` avoids even that.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.distributions.structured import QuiltGenerator
 
 from repro.core.laplace import Mechanism
 from repro.core.queries import Query
@@ -105,7 +108,18 @@ class MarkovQuiltMechanism(Mechanism):
         Optional mapping ``node -> list of MarkovQuilt``; defaults to the
         distance-based candidates of
         :meth:`DiscreteBayesianNetwork.distance_quilts` (which always include
-        the trivial quilt, as Theorem 4.3 requires).
+        the trivial quilt, as Theorem 4.3 requires).  Entries are validated:
+        every key must be a node of the network and every quilt filed under
+        a key must protect that node — a quilt calibrated for the wrong node
+        would bake the mismatch into ``calibration_fingerprint`` and
+        silently mis-scale its noise.
+    quilt_generator:
+        Optional strategy callable ``generator(network, node) -> quilts``
+        used to build the candidate sets from the reference network (e.g.
+        the structured-topology generators of
+        :mod:`repro.distributions.structured`).  Mutually exclusive with
+        ``quilt_sets``; when neither is given the default distance-shell
+        generation is used, unchanged.
     max_radius:
         Radius cap for the default quilt generation.
     """
@@ -118,6 +132,7 @@ class MarkovQuiltMechanism(Mechanism):
         epsilon: float,
         *,
         quilt_sets: Mapping[str, Sequence[MarkovQuilt]] | None = None,
+        quilt_generator: "QuiltGenerator | None" = None,
         max_radius: int | None = None,
     ) -> None:
         super().__init__(epsilon)
@@ -130,17 +145,38 @@ class MarkovQuiltMechanism(Mechanism):
                 raise ValidationError("all networks in Theta must share the same node set")
         self.networks = networks
         self.reference = networks[0]
-        if quilt_sets is None:
+        if quilt_sets is not None and quilt_generator is not None:
+            raise ValidationError(
+                "pass quilt_sets or quilt_generator, not both"
+            )
+        self.quilt_generator = quilt_generator
+        if quilt_sets is None and quilt_generator is None:
             quilt_sets = {
                 node: self.reference.distance_quilts(node, max_radius) for node in nodes
             }
+        elif quilt_sets is None:
+            quilt_sets = {
+                node: list(quilt_generator(self.reference, node)) for node in nodes
+            }
         else:
             quilt_sets = {node: list(qs) for node, qs in quilt_sets.items()}
-            for node in nodes:
-                candidates = quilt_sets.setdefault(node, [])
-                if not any(q.is_trivial for q in candidates):
-                    # Theorem 4.3 requires the trivial quilt to be available.
-                    candidates.append(self.reference.trivial_quilt(node))
+        node_set = frozenset(nodes)
+        for key, candidates in quilt_sets.items():
+            if key not in node_set:
+                raise ValidationError(
+                    f"quilt_sets key {key!r} is not a node of the network"
+                )
+            for quilt in candidates:
+                if quilt.node != key:
+                    raise ValidationError(
+                        f"quilt protecting node {quilt.node!r} filed under "
+                        f"quilt_sets key {key!r}"
+                    )
+        for node in nodes:
+            candidates = quilt_sets.setdefault(node, [])
+            if not any(q.is_trivial for q in candidates):
+                # Theorem 4.3 requires the trivial quilt to be available.
+                candidates.append(self.reference.trivial_quilt(node))
         self.quilt_sets = quilt_sets
         self._sigma_cache: dict[str, tuple[float, MarkovQuilt]] = {}
 

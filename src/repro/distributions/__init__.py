@@ -17,14 +17,38 @@ from repro.distributions.metrics import (
     total_variation,
     w_infinity,
 )
+from repro.distributions.structured import (
+    BlockQuiltGenerator,
+    GridQuiltGenerator,
+    HubQuiltGenerator,
+    StructuredScenario,
+    certified_quilts,
+    grid_network,
+    grid_scenario,
+    household_blocks_network,
+    household_blocks_scenario,
+    hub_and_spoke_network,
+    hub_and_spoke_scenario,
+)
 
 __all__ = [
+    "BlockQuiltGenerator",
     "ChainFamily",
     "DiscreteBayesianNetwork",
     "DiscreteDistribution",
     "FiniteChainFamily",
+    "GridQuiltGenerator",
+    "HubQuiltGenerator",
     "IntervalChainFamily",
     "MarkovChain",
+    "StructuredScenario",
+    "certified_quilts",
+    "grid_network",
+    "grid_scenario",
+    "household_blocks_network",
+    "household_blocks_scenario",
+    "hub_and_spoke_network",
+    "hub_and_spoke_scenario",
     "kl_divergence",
     "max_divergence",
     "symmetric_max_divergence",

@@ -317,11 +317,26 @@ class DiscreteBayesianNetwork:
         return quilts
 
     def is_path_graph(self) -> bool:
-        """True when the skeleton is a simple path (a Markov chain)."""
-        degrees = [len(self.undirected_neighbors(n)) for n in self._order]
-        if len(self._order) == 1:
+        """True when the skeleton is a single simple path (a Markov chain).
+
+        Requires **connectivity**, not just the path degree profile: a
+        disconnected union of paths (two 2-node chains have degrees
+        ``[1, 1, 1, 1]``) and a path-plus-cycle union (degrees ``<= 2`` with
+        two endpoints *and* ``n - 1`` edges) both fail here, where the
+        seed's degree-multiset check accepted them and the path-walk in
+        :meth:`chain_quilts` then crashed.
+        """
+        n = len(self._order)
+        if n == 1:
             return True
-        return sorted(degrees)[:2] == [1, 1] and all(d <= 2 for d in degrees)
+        degrees = [len(self.undirected_neighbors(name)) for name in self._order]
+        if any(d > 2 for d in degrees) or sorted(degrees)[:2] != [1, 1]:
+            return False
+        edges = sum(len(self._parents[name]) for name in self._order)
+        if edges != n - 1:
+            return False
+        distances = self._skeleton_distances(self._order[0])
+        return all(np.isfinite(d) for d in distances.values())
 
     def chain_quilts(self, node: str, max_window: int | None = None) -> list[MarkovQuilt]:
         """The Lemma 4.6 asymmetric quilt set for path-graph networks.
@@ -332,10 +347,16 @@ class DiscreteBayesianNetwork:
         search set that Algorithm 3 uses.  With these quilt sets the general
         mechanism (Algorithm 2) matches the chain-specialized MQMExact.
 
-        Raises :class:`ValidationError` when the skeleton is not a path.
+        Raises :class:`ValidationError` when the skeleton is not a single
+        connected path — including the disconnected union-of-paths case,
+        which matches the path degree profile but cannot be walked
+        end-to-end (use the per-component generators in
+        :mod:`repro.distributions.structured` for those).
         """
         if not self.is_path_graph():
-            raise ValidationError("chain_quilts requires a path-graph network")
+            raise ValidationError(
+                "chain_quilts requires a connected path-graph network"
+            )
         # Order nodes along the path starting from an endpoint.
         order = self._path_order()
         position = order.index(node)

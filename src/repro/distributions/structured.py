@@ -1,0 +1,471 @@
+"""Structured-graph scenario library: grids, hub-and-spoke, household blocks.
+
+The general Markov Quilt Mechanism (Algorithm 2) is only as good as the
+quilt candidate set it searches.  Path graphs get the rich Lemma 4.6
+asymmetric sets (:meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.
+chain_quilts`); every other topology previously fell back to the symmetric
+distance shells of :meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.
+distance_quilts`.  This module adds three structured network families — the
+composition settings of Bai et al. (*Composition for Pufferfish Privacy*, see
+PAPERS.md) — as first-class scenarios, each paired with a **dedicated quilt
+generator** that exploits its topology:
+
+* :func:`grid_network` — an ``rows x cols`` lattice of contagion (each cell
+  depends on its upper and left neighbors).  :class:`GridQuiltGenerator`
+  proposes rectangular frontier rings (the Chebyshev ring at radius ``r``
+  around the protected cell) and full row/column bands, including the
+  one-sided and asymmetric two-sided bands the distance shells miss.
+* :func:`hub_and_spoke_network` — one hub node with ``n_spokes`` path-shaped
+  spokes.  :class:`HubQuiltGenerator` uses the hub as a **one-node
+  separator** (cutting the protected node's spoke off every other spoke)
+  plus the chain-style asymmetric separators along the node's own spoke;
+  distance shells instead drag same-radius nodes of *other* spokes into
+  every separator, inflating its max-influence.
+* :func:`household_blocks_network` — ``n_blocks`` mutually independent
+  households, each an intra-block chain.  :class:`BlockQuiltGenerator` cuts
+  at block boundaries: the **empty separator** already leaves every other
+  block remote (a disconnected component needs no quilt nodes at all — the
+  "disconnection dividend"), and within the block it proposes the chain
+  asymmetric sets.  Distance shells never propose the empty separator, so
+  they always pay influence for remoteness the graph gives away for free.
+
+Every generator certifies each candidate through
+:meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.quilt_from_set`
+(the d-separation check of Definition 4.2), always includes the trivial
+quilt, and **merges the distance shells** into its candidate set — so a
+structured generator can match or beat the shell baseline, never lose to it.
+Generators are small frozen dataclasses; they run once in
+``MarkovQuiltMechanism.__init__`` to materialize the per-node candidate
+lists, and parallel calibration shards ship only those lists — the
+generator object itself is stripped from shard payloads (see
+:func:`repro.parallel.shards.per_node_general_shard`), so even an
+unpicklable custom generator calibrates through the process pool.
+
+Scenario bundles (:class:`StructuredScenario`) pair a reference network with
+a theta family of perturbed-CPD variants (the class Theta of Definition
+4.1) and the family's generator; feed them straight into
+``MarkovQuiltMechanism(scenario.networks, epsilon,
+quilt_generator=scenario.quilt_generator)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.distributions.bayesnet import DiscreteBayesianNetwork, MarkovQuilt
+from repro.exceptions import ValidationError
+
+#: A quilt-generator strategy: ``generator(network, node)`` returns the
+#: candidate quilts Algorithm 2 searches for ``node`` (trivial included).
+QuiltGenerator = Callable[[DiscreteBayesianNetwork, str], Sequence[MarkovQuilt]]
+
+
+# ----------------------------------------------------------------------
+# CPD construction
+# ----------------------------------------------------------------------
+def noisy_or_cpd(n_parents: int, base: float, spread: float) -> np.ndarray:
+    """Binary noisy-OR contagion CPD for a node with ``n_parents`` parents.
+
+    ``P(infected | parents) = 1 - (1 - base) * (1 - spread)^#infected`` —
+    the standard independent-transmission model: ``base`` is the spontaneous
+    infection rate, ``spread`` the per-infected-neighbor transmission
+    probability.
+    """
+    if not 0.0 <= base <= 1.0 or not 0.0 <= spread <= 1.0:
+        raise ValidationError(
+            f"base and spread must be probabilities, got {base}, {spread}"
+        )
+    table = np.empty((2,) * n_parents + (2,))
+    for states in itertools.product((0, 1), repeat=n_parents):
+        p = 1.0 - (1.0 - base) * (1.0 - spread) ** sum(states)
+        table[states + (0,)] = 1.0 - p
+        table[states + (1,)] = p
+    return table
+
+
+def _root_rate(base: float, spread: float) -> float:
+    """Infection rate for a root (parentless) node: elevated above ``base``
+    so roots are informative, clamped so any valid ``(base, spread)`` pair
+    stays a probability."""
+    return min(1.0, base + spread / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Network builders
+# ----------------------------------------------------------------------
+def grid_node(row: int, col: int) -> str:
+    """Canonical name of the grid cell at ``(row, col)``."""
+    return f"g{row}_{col}"
+
+
+def grid_network(
+    rows: int, cols: int, *, base: float = 0.05, spread: float = 0.45
+) -> DiscreteBayesianNetwork:
+    """An ``rows x cols`` contagion lattice.
+
+    Cell ``(r, c)`` has parents ``(r-1, c)`` and ``(r, c-1)`` (where they
+    exist) with the :func:`noisy_or_cpd` transmission model; the skeleton is
+    the 4-connected grid graph.
+    """
+    if rows < 1 or cols < 1:
+        raise ValidationError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    net = DiscreteBayesianNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            parents = []
+            if r > 0:
+                parents.append(grid_node(r - 1, c))
+            if c > 0:
+                parents.append(grid_node(r, c - 1))
+            net.add_node(
+                grid_node(r, c), 2, parents=parents,
+                cpd=noisy_or_cpd(len(parents), base, spread),
+            )
+    return net
+
+
+def spoke_node(spoke: int, position: int) -> str:
+    """Canonical name of spoke ``spoke``'s node at 1-based ``position``."""
+    return f"s{spoke}_{position}"
+
+
+HUB = "hub"
+
+
+def hub_and_spoke_network(
+    n_spokes: int,
+    spoke_length: int = 3,
+    *,
+    base: float = 0.05,
+    spread: float = 0.45,
+    hub_spread: float | None = None,
+) -> DiscreteBayesianNetwork:
+    """A hub node with ``n_spokes`` outgoing path-shaped spokes.
+
+    The hub (named ``"hub"``) infects the first node of each spoke, which
+    infects the next, and so on — a star of Markov chains.  Spoke nodes are
+    named ``s{i}_{j}`` with ``j = 1..spoke_length`` counted outward.
+    ``hub_spread`` (default: ``spread``) sets the hub-to-spoke transmission
+    separately from the intra-spoke one — a weakly coupled hub over strongly
+    coupled spokes is the regime where per-spoke quilt structure matters
+    most, because the hub stops dominating every node's quilt search.
+    """
+    if n_spokes < 1 or spoke_length < 1:
+        raise ValidationError(
+            f"need n_spokes, spoke_length >= 1, got {n_spokes}, {spoke_length}"
+        )
+    if hub_spread is None:
+        hub_spread = spread
+    net = DiscreteBayesianNetwork()
+    net.add_node(HUB, 2, cpd=noisy_or_cpd(0, _root_rate(base, spread), 0.0))
+    for i in range(n_spokes):
+        previous = HUB
+        for j in range(1, spoke_length + 1):
+            name = spoke_node(i, j)
+            net.add_node(
+                name, 2, parents=[previous],
+                cpd=noisy_or_cpd(1, base, hub_spread if j == 1 else spread),
+            )
+            previous = name
+    return net
+
+
+def block_node(block: int, position: int) -> str:
+    """Canonical name of block ``block``'s member at 0-based ``position``."""
+    return f"b{block}_{position}"
+
+
+def household_blocks_network(
+    n_blocks: int,
+    block_size: int,
+    *,
+    base: float = 0.05,
+    spread: float = 0.45,
+) -> DiscreteBayesianNetwork:
+    """``n_blocks`` mutually independent households of ``block_size`` members.
+
+    Each block is an intra-block chain ``b{i}_0 -> b{i}_1 -> ...`` (household
+    members infect each other); **there are no inter-block edges**, so the
+    skeleton is a disconnected union of paths — the multi-component shape
+    that exercises the connectivity requirement of
+    :meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.is_path_graph`.
+    """
+    if n_blocks < 1 or block_size < 1:
+        raise ValidationError(
+            f"need n_blocks, block_size >= 1, got {n_blocks}, {block_size}"
+        )
+    net = DiscreteBayesianNetwork()
+    for i in range(n_blocks):
+        net.add_node(
+            block_node(i, 0), 2, cpd=noisy_or_cpd(0, _root_rate(base, spread), 0.0)
+        )
+        for j in range(1, block_size):
+            net.add_node(
+                block_node(i, j), 2, parents=[block_node(i, j - 1)],
+                cpd=noisy_or_cpd(1, base, spread),
+            )
+    return net
+
+
+# ----------------------------------------------------------------------
+# Quilt generators
+# ----------------------------------------------------------------------
+def certified_quilts(
+    network: DiscreteBayesianNetwork,
+    node: str,
+    separators: Iterable[Iterable[str]],
+    *,
+    merge_distance_shells: bool = True,
+) -> list[MarkovQuilt]:
+    """Certify candidate separator sets into a deduplicated quilt list.
+
+    Every candidate goes through
+    :meth:`~repro.distributions.bayesnet.DiscreteBayesianNetwork.quilt_from_set`
+    — candidates that fail the d-separation check are silently dropped, so a
+    generator may propose optimistically.  The trivial quilt is always first
+    (Theorem 4.3 requires it to be searchable), and unless disabled the
+    symmetric distance shells are merged in, which guarantees a structured
+    generator never calibrates *worse* than the shell baseline.
+    """
+    quilts = [network.trivial_quilt(node)]
+    seen = {quilts[0]}
+    for separator in separators:
+        candidate = network.quilt_from_set(node, separator)
+        if candidate is not None and candidate not in seen:
+            seen.add(candidate)
+            quilts.append(candidate)
+    if merge_distance_shells:
+        for candidate in network.distance_quilts(node):
+            if candidate not in seen:
+                seen.add(candidate)
+                quilts.append(candidate)
+    return quilts
+
+
+@dataclass(frozen=True)
+class GridQuiltGenerator:
+    """Frontier rings and row/column bands for :func:`grid_network`.
+
+    For the protected cell ``(r, c)`` the candidates are:
+
+    * the rectangular **frontier ring** at Chebyshev radius ``k`` — every
+      in-grid cell at ``max(|dr|, |dc|) == k``.  A 4-connected (or
+      moralized, which adds only anti-diagonal steps) path from inside the
+      ring to outside must cross it, so it separates;
+    * **row bands**: row ``r - a`` alone, row ``r + b`` alone, and the
+      asymmetric pairs ``{row r-a, row r+b}`` — the grid analogue of the
+      Lemma 4.6 one-/two-sided chain separators;
+    * **column bands**, symmetrically.
+
+    Distance shells (graph-distance diamonds) are merged in, so the
+    candidate set is a strict superset of the baseline's.
+    """
+
+    rows: int
+    cols: int
+
+    def _cell(self, name: str) -> tuple[int, int]:
+        try:
+            row, col = map(int, name[1:].split("_"))
+        except (ValueError, IndexError):
+            raise ValidationError(
+                f"{name!r} is not a grid cell name (expected 'g<row>_<col>')"
+            ) from None
+        return row, col
+
+    def __call__(
+        self, network: DiscreteBayesianNetwork, node: str
+    ) -> list[MarkovQuilt]:
+        r, c = self._cell(node)
+        separators: list[set[str]] = []
+        for radius in range(1, max(self.rows, self.cols)):
+            ring = {
+                grid_node(rr, cc)
+                for rr in range(self.rows)
+                for cc in range(self.cols)
+                if max(abs(rr - r), abs(cc - c)) == radius
+            }
+            if not ring:
+                break
+            separators.append(ring)
+        row_band = lambda rr: {grid_node(rr, cc) for cc in range(self.cols)}  # noqa: E731
+        col_band = lambda cc: {grid_node(rr, cc) for rr in range(self.rows)}  # noqa: E731
+        above = [row_band(r - a) for a in range(1, r + 1)]
+        below = [row_band(r + b) for b in range(1, self.rows - r)]
+        left = [col_band(c - a) for a in range(1, c + 1)]
+        right = [col_band(c + b) for b in range(1, self.cols - c)]
+        for one_sided in (*above, *below, *left, *right):
+            separators.append(one_sided)
+        separators.extend(a | b for a, b in itertools.product(above, below))
+        separators.extend(a | b for a, b in itertools.product(left, right))
+        return certified_quilts(network, node, separators)
+
+
+@dataclass(frozen=True)
+class HubQuiltGenerator:
+    """Hub-as-separator plus per-spoke chain sets for
+    :func:`hub_and_spoke_network`.
+
+    For a spoke node the candidates are the Lemma 4.6 one-/two-sided
+    separators along its own spoke, with the hub playing the role of the
+    innermost "toward" cut — ``{hub}`` alone already severs every other
+    spoke.  For the hub itself only the merged distance shells apply (every
+    neighbor set is symmetric around it).
+    """
+
+    spokes: tuple[tuple[str, ...], ...]
+
+    def __call__(
+        self, network: DiscreteBayesianNetwork, node: str
+    ) -> list[MarkovQuilt]:
+        spoke = next((s for s in self.spokes if node in s), None)
+        if spoke is None:  # the hub
+            return certified_quilts(network, node, ())
+        position = spoke.index(node)
+        inward = [spoke[position - a] for a in range(1, position + 1)] + [HUB]
+        outward = [spoke[position + b] for b in range(1, len(spoke) - position)]
+        separators: list[set[str]] = [{cut} for cut in (*inward, *outward)]
+        separators.extend({a, b} for a, b in itertools.product(inward, outward))
+        return certified_quilts(network, node, separators)
+
+
+@dataclass(frozen=True)
+class BlockQuiltGenerator:
+    """Block-boundary cuts for :func:`household_blocks_network`.
+
+    Blocks are mutually independent, so the **empty separator** already
+    leaves every other block remote with zero max-influence — the protected
+    node's score drops from ``n / epsilon`` (trivial) to
+    ``block_size / epsilon`` without spending any influence budget.  Within
+    the node's own block the generator adds the Lemma 4.6 one-/two-sided
+    chain separators.  Distance shells never propose the empty separator
+    (they start at radius 1), which is exactly what this generator fixes.
+    """
+
+    blocks: tuple[tuple[str, ...], ...]
+
+    def __call__(
+        self, network: DiscreteBayesianNetwork, node: str
+    ) -> list[MarkovQuilt]:
+        block = next((b for b in self.blocks if node in b), None)
+        if block is None:
+            return certified_quilts(network, node, ((),))
+        position = block.index(node)
+        inward = [block[position - a] for a in range(1, position + 1)]
+        outward = [block[position + b] for b in range(1, len(block) - position)]
+        separators: list[set[str]] = [set()]
+        separators.extend({cut} for cut in (*inward, *outward))
+        separators.extend({a, b} for a, b in itertools.product(inward, outward))
+        return certified_quilts(network, node, separators)
+
+
+# ----------------------------------------------------------------------
+# Scenario bundles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StructuredScenario:
+    """A structured network family ready for Algorithm 2.
+
+    ``networks`` is the class Theta — a reference network first, followed by
+    perturbed-CPD variants sharing its DAG; ``quilt_generator`` is the
+    family's dedicated strategy.  Pass both straight through::
+
+        MarkovQuiltMechanism(
+            scenario.networks, epsilon,
+            quilt_generator=scenario.quilt_generator,
+        )
+    """
+
+    name: str
+    networks: tuple[DiscreteBayesianNetwork, ...]
+    quilt_generator: QuiltGenerator
+
+    @property
+    def reference(self) -> DiscreteBayesianNetwork:
+        """The network whose DAG defines the quilt search."""
+        return self.networks[0]
+
+
+def _theta(
+    build: Callable[[float], DiscreteBayesianNetwork], spreads: Sequence[float]
+) -> tuple[DiscreteBayesianNetwork, ...]:
+    if not spreads:
+        raise ValidationError("theta needs at least one spread value")
+    return tuple(build(spread) for spread in spreads)
+
+
+def grid_scenario(
+    rows: int,
+    cols: int,
+    *,
+    base: float = 0.05,
+    spreads: Sequence[float] = (0.45, 0.25),
+) -> StructuredScenario:
+    """A grid family: one network per transmission rate in ``spreads``."""
+    return StructuredScenario(
+        name=f"grid-{rows}x{cols}",
+        networks=_theta(
+            lambda s: grid_network(rows, cols, base=base, spread=s), spreads
+        ),
+        quilt_generator=GridQuiltGenerator(rows, cols),
+    )
+
+
+def hub_and_spoke_scenario(
+    n_spokes: int,
+    spoke_length: int = 3,
+    *,
+    base: float = 0.05,
+    spreads: Sequence[float] = (0.75, 0.55),
+    hub_spread: float | None = 0.1,
+) -> StructuredScenario:
+    """A hub-and-spoke family: one network per intra-spoke transmission rate.
+
+    The defaults pair strong intra-spoke transmission with a weakly coupled
+    hub (``hub_spread = 0.1``), which keeps the hub from dominating the
+    quilt search of every spoke node — the regime where the dedicated
+    generator's hub-as-separator and asymmetric per-spoke cuts beat the
+    symmetric distance shells.
+    """
+    spokes = tuple(
+        tuple(spoke_node(i, j) for j in range(1, spoke_length + 1))
+        for i in range(n_spokes)
+    )
+    return StructuredScenario(
+        name=f"hub-{n_spokes}x{spoke_length}",
+        networks=_theta(
+            lambda s: hub_and_spoke_network(
+                n_spokes, spoke_length, base=base, spread=s, hub_spread=hub_spread
+            ),
+            spreads,
+        ),
+        quilt_generator=HubQuiltGenerator(spokes),
+    )
+
+
+def household_blocks_scenario(
+    n_blocks: int,
+    block_size: int,
+    *,
+    base: float = 0.05,
+    spreads: Sequence[float] = (0.45, 0.25),
+) -> StructuredScenario:
+    """A household-blocks family: one network per transmission rate."""
+    blocks = tuple(
+        tuple(block_node(i, j) for j in range(block_size))
+        for i in range(n_blocks)
+    )
+    return StructuredScenario(
+        name=f"blocks-{n_blocks}x{block_size}",
+        networks=_theta(
+            lambda s: household_blocks_network(
+                n_blocks, block_size, base=base, spread=s
+            ),
+            spreads,
+        ),
+        quilt_generator=BlockQuiltGenerator(blocks),
+    )

@@ -16,13 +16,20 @@ state the serial path produces (bit-identical — see
 """
 
 from repro.parallel.calibrator import ParallelCalibrator, as_calibrator
-from repro.parallel.shards import Shard, ShardResult, run_shard, segment_lengths_of
+from repro.parallel.shards import (
+    Shard,
+    ShardResult,
+    per_node_general_shard,
+    run_shard,
+    segment_lengths_of,
+)
 
 __all__ = [
     "ParallelCalibrator",
     "Shard",
     "ShardResult",
     "as_calibrator",
+    "per_node_general_shard",
     "run_shard",
     "segment_lengths_of",
 ]

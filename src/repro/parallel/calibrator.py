@@ -57,6 +57,7 @@ from repro.parallel.shards import (
     KIND_WASSERSTEIN,
     Shard,
     ShardResult,
+    per_node_general_shard,
     run_shard,
     segment_lengths_of,
 )
@@ -164,21 +165,18 @@ class ParallelCalibrator:
             # Each clone ships Theta (networks pickle as their CPD arrays;
             # the worker's inference-engine plan is rebuilt from the
             # fingerprint-keyed registry) but only *its own node's* quilt
-            # candidates — shipping the full quilt_sets map in every shard
-            # would make total payload volume quadratic in node count.
+            # candidates — see per_node_general_shard for the pruning and
+            # generator-stripping rules.
             missing = [
                 node
                 for node in mechanism.reference.nodes
                 if node not in mechanism._sigma_cache
             ]
             template = _pristine(mechanism)
-            shards = []
-            for node in missing:
-                clone = copy.copy(template)
-                clone._sigma_cache = {}
-                clone.quilt_sets = {node: mechanism.quilt_sets[node]}
-                shards.append(Shard(KIND_MQM_GENERAL, node, (clone, node)))
-            return shards
+            return [
+                per_node_general_shard(template, node, mechanism.quilt_sets[node])
+                for node in missing
+            ]
         if isinstance(mechanism, WassersteinMechanism):
             if query.output_dim != 1:
                 return []  # let the serial path raise its ValidationError

@@ -14,7 +14,11 @@ of *independent* sub-computations:
   search whose max-influence kernels run on the worker's own
   :mod:`repro.inference` variable-elimination engine (networks pickle as
   their CPD arrays; the engine plan is rebuilt from the fingerprint-keyed
-  registry on first use, so shard payloads stay small);
+  registry on first use, so shard payloads stay small).  Candidate sets are
+  pruned per node by :func:`per_node_general_shard`, which ships the exact
+  lists the serial search walks — whether they came from the default
+  distance shells or a :mod:`repro.distributions.structured` generator —
+  and strips the (possibly unpicklable) generator strategy itself;
 * an epsilon sweep evaluates ``sigma_max`` per privacy level;
 * a multi-mechanism trial run calibrates each mechanism separately.
 
@@ -31,6 +35,7 @@ which is what makes the parallel calibration bit-identical end to end (see
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any
 
@@ -143,6 +148,30 @@ def run_shard(shard: Shard) -> ShardResult:
         )
         return ShardResult(shard.kind, shard.key, (calibration.to_payload(), state))
     raise ValidationError(f"unknown shard kind {shard.kind!r}")  # pragma: no cover
+
+
+def per_node_general_shard(template: Any, node: str, candidates: Any) -> Shard:
+    """One Algorithm 2 node shard carrying only that node's quilt candidates.
+
+    ``template`` is a pristine :class:`~repro.core.markov_quilt.
+    MarkovQuiltMechanism` clone; ``candidates`` is the **exact** candidate
+    list the serial search would walk for ``node`` (shared object identity
+    with the parent's ``quilt_sets`` entry), so the worker's
+    ``sigma_for_node`` is bit-identical to the serial one by construction —
+    this holds for the default distance shells and for every
+    :mod:`repro.distributions.structured` generator alike, because the
+    generator already ran in the parent's ``__init__`` and the materialized
+    quilts are all a worker needs.  Pruning to one node keeps total payload
+    volume linear in node count (shipping the full map in every shard would
+    be quadratic), and the clone drops the generator strategy object itself:
+    a user-supplied generator may be an unpicklable closure, which would
+    otherwise force the entire plan inline for no reason.
+    """
+    clone = copy.copy(template)
+    clone._sigma_cache = {}
+    clone.quilt_sets = {node: list(candidates)}
+    clone.quilt_generator = None
+    return Shard(KIND_MQM_GENERAL, node, (clone, node))
 
 
 def segment_lengths_of(data: Any) -> tuple[int, ...]:

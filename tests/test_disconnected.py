@@ -1,0 +1,177 @@
+"""Regression tests for multi-component (disconnected) Bayesian networks.
+
+The seed's ``is_path_graph`` checked only the degree multiset, so a
+disconnected union of paths (e.g. two 2-node chains) passed as a "path" and
+``chain_quilts`` then crashed with ``IndexError`` inside ``_path_order``.
+The structured scenario library builds exactly such graphs (independent
+household blocks), so every layer that touches them is pinned here:
+routing (``is_path_graph``/``chain_quilts``), quilt generation
+(``distance_quilts``/``quilt_from_set``), the max-influence kernel, the
+inference engine, and end-to-end Algorithm 2 calibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
+from repro.core.queries import CountQuery
+from repro.distributions.bayesnet import DiscreteBayesianNetwork
+from repro.exceptions import ValidationError
+from repro.inference import engine_for
+
+INITIAL = np.array([0.7, 0.3])
+TRANSITION = np.array([[0.85, 0.15], [0.3, 0.7]])
+
+
+def union_of_paths(*lengths: int) -> DiscreteBayesianNetwork:
+    """Disjoint chains ``c{i}_0 -> c{i}_1 -> ...`` with no cross edges."""
+    net = DiscreteBayesianNetwork()
+    for i, length in enumerate(lengths):
+        net.add_node(f"c{i}_0", 2, cpd=INITIAL)
+        for j in range(1, length):
+            net.add_node(f"c{i}_{j}", 2, parents=[f"c{i}_{j-1}"], cpd=TRANSITION)
+    return net
+
+
+def path_plus_cycle() -> DiscreteBayesianNetwork:
+    """A 3-node path next to a 3-node cycle: n-1 edges, two endpoints,
+    degrees <= 2 — everything the degree profile checks — yet not a path."""
+    net = DiscreteBayesianNetwork()
+    net.add_node("p0", 2, cpd=INITIAL)
+    net.add_node("p1", 2, parents=["p0"], cpd=TRANSITION)
+    net.add_node("p2", 2, parents=["p1"], cpd=TRANSITION)
+    net.add_node("a", 2, cpd=INITIAL)
+    net.add_node("b", 2, parents=["a"], cpd=TRANSITION)
+    cpd = np.stack([np.stack([INITIAL, INITIAL]), np.stack([INITIAL, INITIAL[::-1]])])
+    net.add_node("c", 2, parents=["a", "b"], cpd=cpd)
+    return net
+
+
+# ----------------------------------------------------------------------
+# Routing: is_path_graph / chain_quilts
+# ----------------------------------------------------------------------
+class TestPathRouting:
+    def test_union_of_two_2chains_is_not_a_path(self):
+        """The confirmed bug: degrees [1, 1, 1, 1] passed the seed check."""
+        assert not union_of_paths(2, 2).is_path_graph()
+
+    @pytest.mark.parametrize("lengths", [(2, 2), (3, 2), (4, 4, 4), (1, 5)])
+    def test_path_unions_are_never_paths(self, lengths):
+        assert not union_of_paths(*lengths).is_path_graph()
+
+    def test_path_plus_cycle_is_not_a_path(self):
+        net = path_plus_cycle()
+        degrees = sorted(len(net.undirected_neighbors(n)) for n in net.nodes)
+        assert degrees == [1, 1, 2, 2, 2, 2]  # the profile a path shows
+        assert not net.is_path_graph()
+
+    def test_single_paths_still_accepted(self):
+        assert union_of_paths(1).is_path_graph()
+        assert union_of_paths(2).is_path_graph()
+        assert DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 7).is_path_graph()
+
+    def test_chain_quilts_raises_validation_error_not_index_error(self):
+        """The documented error instead of the seed's IndexError crash."""
+        net = union_of_paths(2, 2)
+        with pytest.raises(ValidationError, match="connected path-graph"):
+            net.chain_quilts("c0_0")
+
+    def test_chain_quilts_rejects_every_union_node(self):
+        net = union_of_paths(3, 4)
+        for node in net.nodes:
+            with pytest.raises(ValidationError):
+                net.chain_quilts(node)
+
+
+# ----------------------------------------------------------------------
+# Quilt generation with unreachable components
+# ----------------------------------------------------------------------
+class TestDisconnectedQuilts:
+    def test_distance_quilts_skip_infinite_radii(self):
+        net = union_of_paths(3, 3)
+        quilts = net.distance_quilts("c0_0")
+        assert quilts[0].is_trivial
+        # Finite radii only: the c1 component is unreachable from c0_0.
+        assert all(not q.quilt & {"c1_0", "c1_1", "c1_2"} for q in quilts)
+        # Unreachable nodes land in remote for every non-trivial candidate.
+        for quilt in quilts[1:]:
+            assert {"c1_0", "c1_1", "c1_2"} <= quilt.remote
+
+    def test_quilt_from_set_empty_separator_isolates_component(self):
+        net = union_of_paths(3, 2)
+        quilt = net.quilt_from_set("c0_1", ())
+        assert quilt is not None and not quilt.is_trivial
+        assert quilt.quilt == frozenset()
+        assert quilt.nearby == {"c0_0", "c0_1", "c0_2"}
+        assert quilt.remote == {"c1_0", "c1_1"}
+
+    def test_max_influence_zero_across_components(self):
+        """An empty separator between independent components carries no
+        influence; a within-component separator's influence matches the
+        same computation on the isolated component."""
+        net = union_of_paths(3, 2)
+        free = net.quilt_from_set("c0_1", ())
+        assert max_influence([net], free) == 0.0
+        joined = net.quilt_from_set("c0_1", {"c0_2"})
+        alone = DiscreteBayesianNetwork.chain(INITIAL, TRANSITION, 3)
+        isolated = alone.quilt_from_set("X2", {"X3"})
+        assert max_influence([net], joined) == pytest.approx(
+            max_influence([alone], isolated), abs=1e-12
+        )
+
+    def test_cross_component_separator_has_zero_influence(self):
+        """Quilt nodes in a different component are independent of the
+        protected node, so they add nothing to the influence."""
+        net = union_of_paths(2, 2)
+        cross = net.quilt_from_set("c0_0", {"c1_0"})
+        assert cross is not None
+        assert max_influence([net], cross) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Inference engine on disconnected networks
+# ----------------------------------------------------------------------
+class TestDisconnectedInference:
+    def test_engine_marginals_match_oracle(self):
+        net = union_of_paths(3, 2)
+        engine = engine_for(net)
+        assignments, probs = net.enumerate_joint()
+        for position, node in enumerate(net.nodes):
+            expected = np.zeros(2)
+            for assignment, prob in zip(assignments, probs):
+                expected[assignment[position]] += prob
+            np.testing.assert_allclose(engine.marginal_of(node), expected, rtol=1e-12)
+
+    def test_engine_conditionals_across_components(self):
+        """Conditioning on one component says nothing about the other."""
+        net = union_of_paths(2, 2)
+        engine = engine_for(net)
+        tensor = engine.conditional_tables(("c1_1",), "c0_0")
+        np.testing.assert_allclose(tensor[0], tensor[1], rtol=1e-12)
+        np.testing.assert_allclose(tensor[0], engine.marginal_of("c1_1"), rtol=1e-12)
+
+    def test_engine_calibrates_disconnected_network(self):
+        """End-to-end: Algorithm 2 on a disconnected network, serial and
+        through the cached-calibration release path, without error."""
+        net = union_of_paths(3, 2)
+        mechanism = MarkovQuiltMechanism([net], epsilon=2.0)
+        sigma = mechanism.sigma_max()
+        assert np.isfinite(sigma) and sigma > 0
+        release = mechanism.release(
+            np.zeros(len(net.nodes), dtype=int), CountQuery(), rng=0
+        )
+        assert np.isfinite(release.value)
+
+    def test_disconnected_sigma_never_exceeds_single_component_bound(self):
+        """Protecting a node needs at most its own component nearby, so a
+        generator exploiting disconnection beats the trivial bound."""
+        from repro.distributions.structured import household_blocks_scenario
+
+        scenario = household_blocks_scenario(3, 3)
+        mechanism = MarkovQuiltMechanism(
+            [scenario.reference], epsilon=2.0,
+            quilt_generator=scenario.quilt_generator,
+        )
+        # 9 nodes total, 3 per block: the disconnection dividend caps sigma
+        # at block_size/epsilon even when every in-block cut is inadmissible.
+        assert mechanism.sigma_max() <= 3 / 2.0 + 1e-12

@@ -133,3 +133,24 @@ class TestGeneralNetworksModule:
 
         general, exact = general_networks.chain_parity(length=12, epsilon=2.0)
         assert general == pytest.approx(exact, rel=1e-9)
+
+
+class TestStructuredScenariosModule:
+    def test_quick_families_never_worse(self):
+        from repro.experiments import structured_scenarios
+
+        table, records = structured_scenarios.run(
+            structured_scenarios.default_families(quick=True)
+        )
+        assert {r["family"] for r in records} == set(table.to_dict())
+        for record in records:
+            assert record["structured_sigma"] <= record["baseline_sigma"] + 1e-12
+            assert record["structured_candidates"] >= record["baseline_candidates"]
+        # The household-blocks disconnection dividend is strict at any size.
+        blocks = next(r for r in records if r["family"].startswith("blocks"))
+        assert blocks["noise_ratio"] > 1.0 + 1e-9
+
+    def test_cli_registration(self):
+        from repro.__main__ import EXPERIMENTS
+
+        assert "structured_scenarios" in EXPERIMENTS

@@ -117,6 +117,26 @@ class TestMechanism:
         with pytest.raises(ValidationError):
             MarkovQuiltMechanism([chain_net, other], epsilon=1.0)
 
+    def test_quilt_sets_unknown_key_rejected(self, chain_net):
+        """A key that is not a network node used to be silently baked into
+        the calibration fingerprint; now it raises with the offending key."""
+        with pytest.raises(ValidationError, match="X9"):
+            MarkovQuiltMechanism(
+                [chain_net],
+                epsilon=1.0,
+                quilt_sets={"X9": [chain_net.trivial_quilt("X1")]},
+            )
+
+    def test_quilt_sets_wrong_node_quilt_rejected(self, chain_net):
+        """A quilt protecting a different node than its mapping key would
+        calibrate noise for the wrong node; now it raises naming the key."""
+        with pytest.raises(ValidationError, match="X1"):
+            MarkovQuiltMechanism(
+                [chain_net],
+                epsilon=1.0,
+                quilt_sets={"X1": [chain_net.quilt_from_set("X3", {"X2", "X4"})]},
+            )
+
     def test_release_details(self, chain_net):
         mech = MarkovQuiltMechanism([chain_net], epsilon=1.0)
         release = mech.release(

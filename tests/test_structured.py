@@ -1,0 +1,340 @@
+"""Tests for the structured-graph scenario library and the quilt-generator
+strategy layer (grids, hub-and-spoke, household blocks)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
+from repro.core.queries import CountQuery
+from repro.distributions.structured import (
+    HUB,
+    BlockQuiltGenerator,
+    GridQuiltGenerator,
+    HubQuiltGenerator,
+    block_node,
+    certified_quilts,
+    grid_network,
+    grid_node,
+    grid_scenario,
+    household_blocks_network,
+    household_blocks_scenario,
+    hub_and_spoke_network,
+    hub_and_spoke_scenario,
+    noisy_or_cpd,
+    spoke_node,
+)
+from repro.exceptions import ValidationError
+from repro.parallel import ParallelCalibrator
+
+EPSILONS = {"grid": 8.0, "hub": 6.0, "blocks": 2.0}
+
+
+def small_scenarios():
+    return (
+        ("grid", grid_scenario(3, 3)),
+        ("hub", hub_and_spoke_scenario(3, 2)),
+        ("blocks", household_blocks_scenario(2, 3)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+class TestBuilders:
+    def test_noisy_or_cpd_rows_normalize(self):
+        table = noisy_or_cpd(2, 0.1, 0.4)
+        assert table.shape == (2, 2, 2)
+        np.testing.assert_allclose(table.sum(axis=-1), 1.0)
+        # More infected parents -> higher infection probability.
+        assert table[0, 0, 1] < table[0, 1, 1] < table[1, 1, 1]
+
+    def test_noisy_or_cpd_rejects_bad_probabilities(self):
+        with pytest.raises(ValidationError):
+            noisy_or_cpd(1, -0.1, 0.5)
+        with pytest.raises(ValidationError):
+            noisy_or_cpd(1, 0.1, 1.5)
+
+    def test_grid_structure(self):
+        net = grid_network(3, 4)
+        assert len(net.nodes) == 12
+        assert net.parents(grid_node(0, 0)) == ()
+        assert set(net.parents(grid_node(2, 3))) == {grid_node(1, 3), grid_node(2, 2)}
+        # Interior cells have degree 4 in the skeleton.
+        assert len(net.undirected_neighbors(grid_node(1, 1))) == 4
+
+    def test_hub_structure(self):
+        net = hub_and_spoke_network(4, 3)
+        assert len(net.nodes) == 13
+        assert len(net.undirected_neighbors(HUB)) == 4
+        assert net.parents(spoke_node(2, 1)) == (HUB,)
+        assert net.parents(spoke_node(2, 3)) == (spoke_node(2, 2),)
+
+    def test_hub_spread_decouples_first_hop(self):
+        net = hub_and_spoke_network(2, 2, spread=0.6, hub_spread=0.1)
+        first_hop = net.cpd(spoke_node(0, 1))
+        within = net.cpd(spoke_node(0, 2))
+        assert first_hop[1, 1] < within[1, 1]
+
+    def test_blocks_are_disconnected_paths(self):
+        net = household_blocks_network(3, 4)
+        assert len(net.nodes) == 12
+        assert net.parents(block_node(1, 0)) == ()
+        assert net.parents(block_node(1, 2)) == (block_node(1, 1),)
+        # Multi-component: not a path graph, even though each block is one.
+        assert not net.is_path_graph()
+
+    def test_builders_validate_sizes(self):
+        with pytest.raises(ValidationError):
+            grid_network(0, 3)
+        with pytest.raises(ValidationError):
+            hub_and_spoke_network(2, 0)
+        with pytest.raises(ValidationError):
+            household_blocks_network(0, 2)
+
+    def test_scenarios_share_dag_across_theta(self):
+        for _, scenario in small_scenarios():
+            reference = scenario.reference
+            assert len(scenario.networks) >= 2
+            for network in scenario.networks:
+                assert network.nodes == reference.nodes
+            # Perturbed CPDs: the thetas are numerically distinct.
+            fingerprints = {network.fingerprint() for network in scenario.networks}
+            assert len(fingerprints) == len(scenario.networks)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+class TestGenerators:
+    @pytest.mark.parametrize("name,scenario", small_scenarios())
+    def test_every_quilt_is_certified(self, name, scenario):
+        """Each generated quilt is either trivial or re-derivable through
+        the d-separation check — no generator bypasses Definition 4.2."""
+        net = scenario.reference
+        for node in net.nodes:
+            quilts = scenario.quilt_generator(net, node)
+            assert quilts[0].is_trivial
+            assert sum(1 for q in quilts if q.is_trivial) == 1
+            for quilt in quilts[1:]:
+                assert quilt.node == node
+                rebuilt = net.quilt_from_set(node, quilt.quilt)
+                assert rebuilt == quilt
+
+    @pytest.mark.parametrize("name,scenario", small_scenarios())
+    def test_generators_superset_distance_shells(self, name, scenario):
+        """The shells are merged in, which is what guarantees the
+        never-worse property of the sigma comparison."""
+        net = scenario.reference
+        for node in net.nodes:
+            generated = set(scenario.quilt_generator(net, node))
+            for shell in net.distance_quilts(node):
+                assert shell in generated
+
+    @pytest.mark.parametrize("name,scenario", small_scenarios())
+    def test_generators_are_picklable(self, name, scenario):
+        clone = pickle.loads(pickle.dumps(scenario.quilt_generator))
+        net = scenario.reference
+        node = net.nodes[-1]
+        assert clone(net, node) == scenario.quilt_generator(net, node)
+
+    def test_grid_generator_proposes_bands_and_rings(self):
+        net = grid_network(3, 3)
+        generator = GridQuiltGenerator(3, 3)
+        separators = {q.quilt for q in generator(net, grid_node(1, 1))}
+        ring = frozenset(
+            grid_node(r, c) for r in range(3) for c in range(3) if (r, c) != (1, 1)
+        )
+        assert ring in separators  # Chebyshev radius-1 ring
+        assert frozenset(grid_node(0, c) for c in range(3)) in separators  # row band
+        assert frozenset(grid_node(r, 0) for r in range(3)) in separators  # col band
+
+    def test_grid_generator_rejects_foreign_names(self):
+        net = grid_network(2, 2)
+        with pytest.raises(ValidationError):
+            GridQuiltGenerator(2, 2)(net, "not_a_cell")
+
+    def test_hub_generator_uses_hub_as_separator(self):
+        scenario = hub_and_spoke_scenario(3, 3)
+        net = scenario.reference
+        quilts = scenario.quilt_generator(net, spoke_node(0, 2))
+        hub_only = next(q for q in quilts if q.quilt == frozenset({HUB}))
+        # Cutting the hub leaves only the node's own spoke nearby.
+        assert hub_only.nearby == frozenset(spoke_node(0, j) for j in (1, 2, 3))
+        assert spoke_node(1, 1) in hub_only.remote
+
+    def test_block_generator_empty_separator_dividend(self):
+        scenario = household_blocks_scenario(3, 3)
+        net = scenario.reference
+        quilts = scenario.quilt_generator(net, block_node(0, 1))
+        free = next(q for q in quilts if not q.quilt and not q.is_trivial)
+        # No separator spent, yet every other block is remote.
+        assert free.nearby == frozenset(block_node(0, j) for j in range(3))
+        assert len(free.remote) == 6
+        assert max_influence([net], free) == 0.0
+
+    def test_certified_quilts_drops_non_separators(self):
+        from repro.distributions.bayesnet import DiscreteBayesianNetwork
+
+        # Collider A -> C <- B: conditioning on C *opens* the A-B path, so
+        # {C} skeleton-separates A from B but fails d-separation — the
+        # certification must drop it.
+        net = DiscreteBayesianNetwork()
+        net.add_node("A", 2, cpd=[0.5, 0.5])
+        net.add_node("B", 2, cpd=[0.5, 0.5])
+        net.add_node("C", 2, parents=["A", "B"], cpd=noisy_or_cpd(2, 0.1, 0.5))
+        quilts = certified_quilts(net, "A", [{"C"}], merge_distance_shells=False)
+        assert quilts == [net.trivial_quilt("A")]
+
+
+# ----------------------------------------------------------------------
+# Mechanism integration: the acceptance comparison
+# ----------------------------------------------------------------------
+class TestMechanismIntegration:
+    @pytest.mark.parametrize("name,scenario", small_scenarios())
+    def test_structured_never_worse_than_shells(self, name, scenario):
+        epsilon = EPSILONS[name]
+        structured = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        baseline = MarkovQuiltMechanism(scenario.networks, epsilon)
+        assert structured.sigma_max() <= baseline.sigma_max() + 1e-12
+        # Per-node: the superset candidate sets dominate everywhere.
+        for node in scenario.reference.nodes:
+            assert (
+                structured.sigma_for_node(node)[0]
+                <= baseline.sigma_for_node(node)[0] + 1e-12
+            )
+
+    def test_blocks_strictly_improve(self):
+        scenario = household_blocks_scenario(2, 3)
+        structured = MarkovQuiltMechanism(
+            scenario.networks, 2.0, quilt_generator=scenario.quilt_generator
+        )
+        baseline = MarkovQuiltMechanism(scenario.networks, 2.0)
+        assert structured.sigma_max() < baseline.sigma_max() - 1e-9
+
+    def test_single_theta_improvement_per_family(self):
+        """Acceptance: for each family there is a theta (here: the
+        reference network alone) where the structured generator calibrates
+        no worse than the shells — strictly better for blocks."""
+        for name, scenario in small_scenarios():
+            theta = [scenario.reference]
+            epsilon = EPSILONS[name]
+            structured = MarkovQuiltMechanism(
+                theta, epsilon, quilt_generator=scenario.quilt_generator
+            )
+            baseline = MarkovQuiltMechanism(theta, epsilon)
+            assert structured.sigma_max() <= baseline.sigma_max() + 1e-12
+
+    @pytest.mark.parametrize("name,scenario", small_scenarios())
+    def test_parallel_calibration_bit_identical(self, name, scenario):
+        """Acceptance: workers >= 2 sharded calibration matches serial
+        exactly for every structured family."""
+        epsilon = EPSILONS[name]
+        query = CountQuery()
+        data = np.zeros(len(scenario.reference.nodes), dtype=int)
+        serial_mech = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        serial = serial_mech.calibrate(query, data)
+        sharded_mech = MarkovQuiltMechanism(
+            scenario.networks, epsilon, quilt_generator=scenario.quilt_generator
+        )
+        calibrator = ParallelCalibrator(max_workers=2, min_parallel_cost=0.0)
+        sharded = calibrator.calibrate(sharded_mech, query, data)
+        assert calibrator.pool_runs == 1
+        assert sharded.scale == serial.scale
+        assert sharded.details == serial.details
+        assert sharded_mech._sigma_cache == serial_mech._sigma_cache
+        assert sharded_mech.quilt_signature() == serial_mech.quilt_signature()
+
+    def test_shards_prune_per_node_and_strip_generator(self):
+        scenario = household_blocks_scenario(2, 2)
+        mechanism = MarkovQuiltMechanism(
+            scenario.networks, 2.0, quilt_generator=scenario.quilt_generator
+        )
+        calibrator = ParallelCalibrator(max_workers=2)
+        plan = calibrator.plan(
+            mechanism, CountQuery(), np.zeros(4, dtype=int)
+        )
+        assert [shard.key for shard in plan] == list(mechanism.reference.nodes)
+        for shard in plan:
+            clone, node = shard.payload
+            assert set(clone.quilt_sets) == {node}
+            assert clone.quilt_sets[node] == mechanism.quilt_sets[node]
+            assert clone.quilt_generator is None
+
+    def test_unpicklable_generator_still_calibrates(self):
+        """A closure generator can't cross a process boundary; pruned
+        shards drop it, so the plan still pickles and pools."""
+        scenario = household_blocks_scenario(2, 2)
+        generator = lambda net, node: scenario.quilt_generator(net, node)  # noqa: E731
+        serial = MarkovQuiltMechanism(
+            scenario.networks, 2.0, quilt_generator=scenario.quilt_generator
+        )
+        wrapped = MarkovQuiltMechanism(
+            scenario.networks, 2.0, quilt_generator=generator
+        )
+        calibrator = ParallelCalibrator(max_workers=2, min_parallel_cost=0.0)
+        query = CountQuery()
+        data = np.zeros(4, dtype=int)
+        assert (
+            calibrator.calibrate(wrapped, query, data).scale
+            == serial.calibrate(query, data).scale
+        )
+        assert calibrator.pool_runs == 1
+
+
+# ----------------------------------------------------------------------
+# The quilt_generator= strategy parameter
+# ----------------------------------------------------------------------
+class TestStrategyParameter:
+    def test_default_generation_unchanged(self):
+        net = grid_network(2, 3)
+        explicit = MarkovQuiltMechanism([net], 2.0)
+        assert explicit.quilt_generator is None
+        expected = {node: net.distance_quilts(node) for node in net.nodes}
+        assert explicit.quilt_sets == expected
+
+    def test_generator_and_quilt_sets_are_exclusive(self):
+        scenario = grid_scenario(2, 2)
+        net = scenario.reference
+        with pytest.raises(ValidationError):
+            MarkovQuiltMechanism(
+                [net],
+                2.0,
+                quilt_sets={net.nodes[0]: []},
+                quilt_generator=scenario.quilt_generator,
+            )
+
+    def test_generator_sets_enter_fingerprint(self):
+        scenario = household_blocks_scenario(2, 2)
+        structured = MarkovQuiltMechanism(
+            scenario.networks, 2.0, quilt_generator=scenario.quilt_generator
+        )
+        baseline = MarkovQuiltMechanism(scenario.networks, 2.0)
+        assert (
+            structured.calibration_fingerprint()
+            != baseline.calibration_fingerprint()
+        )
+
+    def test_generator_missing_trivial_gets_it_added(self):
+        net = household_blocks_network(2, 2)
+
+        def no_trivial(network, node):
+            return [q for q in network.distance_quilts(node) if not q.is_trivial]
+
+        mechanism = MarkovQuiltMechanism([net], 2.0, quilt_generator=no_trivial)
+        for node in net.nodes:
+            assert any(q.is_trivial for q in mechanism.quilt_sets[node])
+
+    def test_generator_filing_wrong_node_rejected(self):
+        net = grid_network(2, 2)
+
+        def wrong_node(network, node):
+            return [network.trivial_quilt(network.nodes[0])]
+
+        with pytest.raises(ValidationError):
+            MarkovQuiltMechanism([net], 2.0, quilt_generator=wrong_node)
