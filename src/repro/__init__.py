@@ -62,6 +62,7 @@ from repro.serving import (
     InMemoryLRUCache,
     JSONFileCache,
     PrivacyEngine,
+    ReleaseSession,
 )
 from repro.distributions import (
     DiscreteBayesianNetwork,
@@ -105,6 +106,7 @@ __all__ = [
     "PufferfishInstantiation",
     "Query",
     "RelativeFrequencyHistogram",
+    "ReleaseSession",
     "Secret",
     "SecretPair",
     "StateFrequencyQuery",

@@ -12,6 +12,12 @@ Commands
     Quick cold-versus-warm serving demonstration: releases/second with
     per-release recalibration versus a warm :class:`repro.serving.
     PrivacyEngine`, printed as JSON.
+``stream``
+    Streaming-session demonstration: steady-state per-release latency of a
+    :class:`repro.serving.ReleaseSession` drained in chunks versus repeated
+    single ``release()`` calls on a warm engine, plus a seeded
+    stream-equals-batch-prefix self-check, printed as JSON (exit 1 if the
+    prefix check ever fails).
 ``calibrate``
     Run the Table 2 synthetic calibration sweep serially and sharded across
     ``--workers`` processes (:class:`repro.parallel.ParallelCalibrator`),
@@ -86,17 +92,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.satisfied else 1
 
 
-def _cmd_throughput(args: argparse.Namespace) -> int:
-    import json
-    import time
-
-    import numpy as np
-
-    from repro.core.mqm_chain import MQMExact
+def _demo_chain_workload(length: int):
+    """The 4-state MQM chain workload shared by the serving demos
+    (``throughput`` and ``stream``): ``(family, data, query)``."""
     from repro.core.queries import StateFrequencyQuery
     from repro.distributions.chain_family import FiniteChainFamily
     from repro.distributions.markov import MarkovChain
-    from repro.serving import PrivacyEngine
 
     chain = MarkovChain(
         [0.25, 0.25, 0.25, 0.25],
@@ -108,9 +109,20 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         ],
     ).with_stationary_initial()
     family = FiniteChainFamily([chain])
-    length = args.length
     data = chain.sample(length, rng=0)
     query = StateFrequencyQuery(1, length)
+    return family, data, query
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.mqm_chain import MQMExact
+    from repro.serving import PrivacyEngine
+
+    length = args.length
+    family, data, query = _demo_chain_workload(length)
 
     cold_releases = min(args.releases, 20)
     start = time.perf_counter()
@@ -138,6 +150,95 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.mqm_chain import MQMExact
+    from repro.serving import PrivacyEngine
+
+    family, data, query = _demo_chain_workload(args.length)
+
+    def make_engine() -> PrivacyEngine:
+        return PrivacyEngine(
+            MQMExact(family, args.epsilon, max_window=args.window), rng=1
+        )
+
+    # Baseline: repeated single release() calls on a warm engine (per-call
+    # cache lookup + query evaluation + scalar-sized noise draw).
+    single_engine = make_engine()
+    single_engine.calibrate(query, data)
+    single_n = min(args.releases, 500)
+    start = time.perf_counter()
+    for _ in range(single_n):
+        single_engine.release(data, query)
+    single_seconds = time.perf_counter() - start
+
+    # Streamed: one session drained in chunks.
+    stream_engine = make_engine()
+    stream_engine.calibrate(query, data)
+    session = stream_engine.stream(
+        data, query, rng=2, block_size=args.block_size, max_releases=args.releases
+    )
+    start = time.perf_counter()
+    drained = 0
+    while True:
+        chunk = session.take(args.chunk)
+        if not chunk:
+            break
+        drained += len(chunk)
+    stream_seconds = time.perf_counter() - start
+
+    # Self-check: the streamed values are the release_batch prefix, bit for
+    # bit, under a shared seed.
+    check_n = 64
+    prefix = [
+        r.value
+        for r in make_engine().stream(data, query, rng=3, block_size=7).take(check_n)
+    ]
+    batch = [
+        r.value
+        for r in make_engine().release_batch([(data, query)] * check_n, rng=3)
+    ]
+    bit_identical = prefix == batch
+
+    single_rps = single_n / single_seconds
+    stream_rps = drained / stream_seconds
+    print(
+        json.dumps(
+            {
+                "workload": {
+                    "mechanism": "MQMExact",
+                    "length": args.length,
+                    "k": 4,
+                    "max_window": args.window,
+                    "epsilon": args.epsilon,
+                },
+                "single": {
+                    "releases": single_n,
+                    "seconds": single_seconds,
+                    "rps": single_rps,
+                },
+                "stream": {
+                    "releases": drained,
+                    "seconds": stream_seconds,
+                    "rps": stream_rps,
+                    "per_release_us": 1e6 * stream_seconds / max(drained, 1),
+                    "chunk": args.chunk,
+                    "block_size": args.block_size,
+                },
+                "speedup": stream_rps / single_rps,
+                "session_stats": session.close(),
+                "bit_identical_prefix": bit_identical,
+            },
+            indent=2,
+        )
+    )
+    # A streamed value differing from the batched path would be a
+    # correctness bug, not a performance result — fail loudly.
+    return 0 if bit_identical else 1
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -200,6 +301,24 @@ def main(argv: list[str] | None = None) -> int:
     p_tp.add_argument("--window", type=positive_int, default=64)
     p_tp.add_argument("--releases", type=positive_int, default=1000)
     p_tp.set_defaults(func=_cmd_throughput)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="streamed vs repeated-single-release serving demo (JSON output)",
+    )
+    p_stream.add_argument("--epsilon", type=float, default=1.0)
+    p_stream.add_argument("--length", type=positive_int, default=2000)
+    p_stream.add_argument("--window", type=positive_int, default=64)
+    p_stream.add_argument("--releases", type=positive_int, default=5000)
+    p_stream.add_argument(
+        "--chunk", type=positive_int, default=100,
+        help="releases drawn per session.take() call",
+    )
+    p_stream.add_argument(
+        "--block-size", type=positive_int, default=256,
+        help="releases worth of noise pre-drawn per vectorized block",
+    )
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_cal = sub.add_parser(
         "calibrate",

@@ -3,7 +3,12 @@ numeric Pufferfish verification."""
 
 from repro.analysis.metrics import expected_l1_laplace, l1_error
 from repro.analysis.reporting import Table, format_series
-from repro.analysis.runner import TrialResult, run_mechanism_suite, run_release_trials
+from repro.analysis.runner import (
+    TrialResult,
+    run_mechanism_suite,
+    run_release_trials,
+    run_streaming_trials,
+)
 from repro.analysis.verification import VerificationReport, verify_pufferfish
 
 __all__ = [
@@ -15,5 +20,6 @@ __all__ = [
     "l1_error",
     "run_mechanism_suite",
     "run_release_trials",
+    "run_streaming_trials",
     "verify_pufferfish",
 ]

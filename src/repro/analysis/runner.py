@@ -88,6 +88,57 @@ def run_release_trials(
     )
 
 
+def run_streaming_trials(
+    mechanism: Mechanism | PrivacyEngine,
+    data,
+    query: Query,
+    n_trials: int,
+    rng: "int | np.random.Generator | None" = None,
+    *,
+    chunk_size: int = 256,
+    workers: int | None = None,
+) -> TrialResult:
+    """Aggregate L1 errors over ``n_trials`` *streamed* releases.
+
+    The streaming sibling of :func:`run_release_trials`: instead of
+    simulating the noise distribution, it drives the real incremental path —
+    a :class:`~repro.serving.stream.ReleaseSession` drained in
+    ``chunk_size`` chunks — so every yielded release went through the
+    per-yield budget debit and the amortized block noise draws.  Under the
+    same seed the aggregated errors equal the batched path's exactly (the
+    session is bit-identical to the ``release_batch`` prefix).  ``workers``
+    shards a cache-missing calibration as in :func:`run_release_trials`.
+    """
+    if n_trials < 1:
+        raise ValidationError(f"n_trials must be >= 1, got {n_trials}")
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    engine = (
+        mechanism
+        if isinstance(mechanism, PrivacyEngine)
+        else PrivacyEngine(mechanism, parallel=workers)
+    )
+    scale = engine.calibrate(query, data).scale
+    errors: list[float] = []
+    with engine.stream(
+        data, query, rng=rng, max_releases=n_trials,
+        block_size=min(chunk_size, n_trials),
+    ) as session:
+        while True:
+            chunk = session.take(chunk_size)
+            if not chunk:
+                break
+            errors.extend(release.l1_error() for release in chunk)
+    arr = np.asarray(errors)
+    return TrialResult(
+        mechanism=engine.mechanism.name,
+        mean_l1=float(arr.mean()),
+        std_l1=float(arr.std()),
+        n_trials=n_trials,
+        noise_scale=float(scale),
+    )
+
+
 def run_mechanism_suite(
     mechanisms: "dict[str, Mechanism] | list[Mechanism]",
     data,

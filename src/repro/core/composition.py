@@ -14,6 +14,7 @@ reports the accumulated guarantee.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -39,19 +40,47 @@ class CompositionAccountant:
     served.  ``records`` remains the full audit trail; treat it as read-only
     (mutating it externally desynchronizes the aggregates).
 
+    **Thread safety.**  The check-then-record cycle of :meth:`record_many`
+    holds an internal lock, so concurrent recorders (two streaming sessions
+    sharing one engine budget, a stream racing a batch) can never both pass
+    the budget check and jointly over-spend — the race
+    ``tests/test_streaming_concurrency.py`` hammers.  Reads
+    (:meth:`total_epsilon`, :meth:`remaining`, ``len``) take the same lock,
+    so they never observe a half-applied record.
+
     Parameters
     ----------
     budget:
         Optional total epsilon budget; :meth:`record` raises once the
         accumulated guarantee would exceed it.
+    audit_trail:
+        When ``True`` (default) every release appends to ``records``.  An
+        indefinite stream debits per yield, so its trail grows linearly with
+        releases served; ``audit_trail=False`` keeps only the O(1)
+        aggregates (count, worst epsilon, signatures) — same enforcement,
+        constant memory, empty ``records``.
     """
 
     budget: float | None = None
     records: list[CompositionRecord] = field(default_factory=list)
+    audit_trail: bool = True
 
     def __post_init__(self) -> None:
+        self._count = len(self.records)
         self._worst = max((r.epsilon for r in self.records), default=0.0)
         self._signatures = {r.quilt_signature for r in self.records}
+        # Reentrant so locked methods may call other locked methods
+        # (total_epsilon -> is_composable).  Dropped/rebuilt across pickling.
+        self._mutex = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_mutex", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.RLock()
 
     def record(
         self,
@@ -87,46 +116,61 @@ class CompositionAccountant:
             raise PrivacyParameterError(
                 f"n_releases must be >= 1, got {n_releases}"
             )
-        if self._signatures and quilt_signature not in self._signatures:
-            raise PrivacyParameterError(
-                "releases use different active Markov quilts; Theorem 4.4 does "
-                "not apply and Pufferfish privacy may not compose"
-            )
-        worst = max(self._worst, float(epsilon))
-        total = (len(self.records) + n_releases) * worst
-        if self.budget is not None and total > self.budget + 1e-12:
-            raise BudgetExhaustedError(
-                f"{n_releases} release(s) would bring the composed guarantee to "
-                f"{total:.4g}, exceeding the budget of {self.budget:.4g}"
-            )
-        record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
-        self.records.extend([record] * n_releases)
-        self._worst = worst
-        self._signatures.add(quilt_signature)
-        return [record] * n_releases
+        with self._mutex:
+            if self._signatures and quilt_signature not in self._signatures:
+                raise PrivacyParameterError(
+                    "releases use different active Markov quilts; Theorem 4.4 does "
+                    "not apply and Pufferfish privacy may not compose"
+                )
+            worst = max(self._worst, float(epsilon))
+            total = (self._count + n_releases) * worst
+            if self.budget is not None and total > self.budget + 1e-12:
+                spent = self._count * self._worst
+                raise BudgetExhaustedError(
+                    f"{n_releases} release(s) would bring the composed guarantee "
+                    f"to {total:.4g}, exceeding the budget of {self.budget:.4g} "
+                    f"(spent {spent:.4g}, remaining "
+                    f"{max(0.0, self.budget - spent):.4g})",
+                    budget=self.budget,
+                    spent=spent,
+                    remaining=max(0.0, self.budget - spent),
+                    requested=n_releases,
+                    n_completed=0,
+                )
+            record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+            if self.audit_trail:
+                self.records.extend([record] * n_releases)
+            self._count += n_releases
+            self._worst = worst
+            self._signatures.add(quilt_signature)
+            return [record] * n_releases
 
     @property
     def is_composable(self) -> bool:
         """Whether all recorded releases share one quilt signature."""
-        return len(self._signatures) <= 1
+        with self._mutex:
+            return len(self._signatures) <= 1
 
     def total_epsilon(self) -> float:
         """The composed guarantee ``K * max_k eps_k`` (0.0 when empty)."""
-        if not self.is_composable:
-            raise PrivacyParameterError(
-                "releases use different active Markov quilts; no composition "
-                "guarantee is available"
-            )
-        return len(self.records) * self._worst
+        with self._mutex:
+            if not self.is_composable:
+                raise PrivacyParameterError(
+                    "releases use different active Markov quilts; no composition "
+                    "guarantee is available"
+                )
+            return self._count * self._worst
 
     def remaining(self) -> float | None:
         """Remaining budget, or ``None`` when no budget was set."""
-        if self.budget is None:
-            return None
-        return max(0.0, self.budget - len(self.records) * self._worst)
+        with self._mutex:
+            if self.budget is None:
+                return None
+            return max(0.0, self.budget - self._count * self._worst)
 
     def __len__(self) -> int:
-        return len(self.records)
+        with self._mutex:
+            return self._count
 
 
 def compose_epsilons(epsilons: list[float]) -> float:

@@ -37,7 +37,58 @@ class BudgetExhaustedError(PrivacyParameterError):
     budget overruns as parameter errors keep working; new callers (the
     serving layer) can catch this type specifically to distinguish "budget
     spent" from "bad epsilon".
+
+    Carries a structured partial-progress payload so a caller interrupted
+    mid-batch or mid-stream knows exactly where the ledger stands:
+
+    Attributes
+    ----------
+    budget:
+        The configured total epsilon budget.
+    spent:
+        The composed guarantee already accumulated (``K * max_k eps_k``)
+        *before* the refused attempt — nothing from the failing call is ever
+        recorded.
+    remaining:
+        ``max(0, budget - spent)``.
+    requested:
+        How many releases the failing call asked for.
+    n_completed:
+        How many releases the failing caller's unit of work completed before
+        the refusal: always 0 for an atomic :meth:`PrivacyEngine.release_batch`
+        (batches record all-or-nothing), and the number of values already
+        yielded for a :class:`~repro.serving.stream.ReleaseSession`.
+
+    All payload fields default to ``None`` when the raiser has no ledger
+    (e.g. an exception reconstructed from its message alone).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: "float | None" = None,
+        spent: "float | None" = None,
+        remaining: "float | None" = None,
+        requested: "int | None" = None,
+        n_completed: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.spent = spent
+        self.remaining = remaining
+        self.requested = requested
+        self.n_completed = n_completed
+
+    def ledger(self) -> dict:
+        """The partial-progress payload as a plain dict (JSON-safe)."""
+        return {
+            "budget": self.budget,
+            "spent": self.spent,
+            "remaining": self.remaining,
+            "requested": self.requested,
+            "n_completed": self.n_completed,
+        }
 
 
 class NotApplicableError(ReproError, RuntimeError):

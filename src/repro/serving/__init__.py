@@ -5,7 +5,9 @@ This package adapts the paper's one-shot mechanisms to a serving workload
 the composition literature on Pufferfish privacy treats as central.
 
 * :class:`PrivacyEngine` — wraps any mechanism; cached calibration, batched
-  vectorized releases, enforced epsilon budget.
+  vectorized releases, streaming sessions, enforced epsilon budget.
+* :class:`ReleaseSession` — incremental (streamed) releases with per-yield
+  atomic budget accounting (see :mod:`repro.serving.stream`).
 * :class:`CalibrationCache` — memoizes noise-scale computations, keyed on
   content fingerprints (see :mod:`repro.serving.fingerprint`).
 * Backends: :class:`InMemoryLRUCache` (default) and :class:`JSONFileCache`
@@ -25,6 +27,7 @@ from repro.serving.fingerprint import (
     mechanism_fingerprint,
     query_signature,
 )
+from repro.serving.stream import ReleaseSession
 
 __all__ = [
     "CacheBackend",
@@ -32,6 +35,7 @@ __all__ = [
     "InMemoryLRUCache",
     "JSONFileCache",
     "PrivacyEngine",
+    "ReleaseSession",
     "cache_key",
     "data_signature",
     "mechanism_fingerprint",

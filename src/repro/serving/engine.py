@@ -18,7 +18,12 @@ the latter:
   :class:`~repro.core.composition.CompositionAccountant`; a release (or an
   entire batch, atomically) that would push the composed guarantee past the
   engine's budget raises :class:`~repro.exceptions.BudgetExhaustedError`
-  before any noise is drawn.
+  before any noise is drawn;
+* **stream indefinitely** — :meth:`stream` opens a
+  :class:`~repro.serving.stream.ReleaseSession` that yields releases
+  incrementally (bit-identical to the batched path under the same seed)
+  while debiting the budget atomically per yield, for long-lived clients
+  that do not know their batch size up front.
 
 Composition caveat: Pufferfish privacy does not compose in general.  The
 ``K * max_k eps_k`` accounting implemented by the accountant is *proved* for
@@ -29,7 +34,8 @@ the engine enforces it as a conservative operational limit either way.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import threading
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -39,6 +45,7 @@ from repro.core.queries import Query
 from repro.exceptions import ValidationError
 from repro.serving.cache import CalibrationCache
 from repro.serving.fingerprint import mechanism_fingerprint
+from repro.serving.stream import ReleaseSession
 from repro.utils.rngtools import resolve_rng
 
 
@@ -84,6 +91,9 @@ class PrivacyEngine:
         self.accountant = CompositionAccountant(budget=epsilon_budget)
         self._rng = resolve_rng(rng)
         self._n_releases = 0
+        # Guards the release counter only; budget atomicity lives in the
+        # accountant's own lock (streams and batches share both).
+        self._count_lock = threading.Lock()
         if parallel is None or parallel is False:
             self.calibrator = None
         else:
@@ -131,9 +141,10 @@ class PrivacyEngine:
 
         The batch is atomic against the budget: if answering all requests
         would exceed it, :class:`~repro.exceptions.BudgetExhaustedError` is
-        raised and *nothing* is released or recorded.  Noise for the whole
-        batch comes from a single vectorized standard-Laplace draw scaled
-        per coordinate, which is bit-identical to sequential
+        raised — carrying the exact ``spent`` / ``remaining`` ledger with
+        ``n_completed == 0`` — and *nothing* is released or recorded.  Noise
+        for the whole batch comes from a single vectorized standard-Laplace
+        draw scaled per coordinate, which is bit-identical to sequential
         :meth:`Mechanism.release` calls against the same generator state.
         """
         requests = list(requests)
@@ -177,6 +188,8 @@ class PrivacyEngine:
         if positive.any():
             noise[positive] = scales[positive] * gen.laplace(size=int(positive.sum()))
 
+        with self._count_lock:
+            self._n_releases += len(requests)
         releases: list[PrivateRelease] = []
         offset = 0
         for (data, query), calibration, true_value in zip(
@@ -188,7 +201,6 @@ class PrivacyEngine:
                 noisy: float | np.ndarray = float(true_value) + float(coords[0])
             else:
                 noisy = np.asarray(true_value, dtype=float) + coords
-            self._n_releases += 1
             releases.append(
                 PrivateRelease(
                     value=noisy,
@@ -213,6 +225,51 @@ class PrivacyEngine:
         if n_releases < 1:
             raise ValidationError(f"n_releases must be >= 1, got {n_releases}")
         return self.release_batch([(data, query)] * n_releases, rng=rng)
+
+    # -- streaming releases ----------------------------------------------
+    def stream(
+        self,
+        data: Any,
+        query: Query,
+        *,
+        rng: "int | np.random.Generator | None" = None,
+        block_size: int = 64,
+        max_releases: int | None = None,
+    ) -> ReleaseSession:
+        """Open a :class:`~repro.serving.stream.ReleaseSession` on this engine.
+
+        The session yields releases incrementally (one at a time or in
+        caller-sized chunks via :meth:`ReleaseSession.take`), drawing noise
+        in amortized vectorized blocks while debiting the budget atomically
+        per yield.  Under the same ``rng`` seed the yielded values are
+        bit-identical to the :meth:`release_batch` prefix of the same
+        length.  Sessions share this engine's calibration cache, budget,
+        and release counter; see ``docs/architecture.md`` for the streaming
+        ADR.
+        """
+        return ReleaseSession(
+            self,
+            data,
+            query,
+            rng=rng,
+            block_size=block_size,
+            max_releases=max_releases,
+        )
+
+    def _debit_one(self, quilt_signature: Hashable) -> None:
+        """Atomically record one streamed release against the budget.
+
+        Raises :class:`~repro.exceptions.BudgetExhaustedError` (payload
+        attached by the accountant; the session fills in ``n_completed``)
+        without counting the release when the budget refuses.
+        """
+        self.accountant.record(
+            self.mechanism.epsilon,
+            mechanism=self.mechanism.name,
+            quilt_signature=quilt_signature,
+        )
+        with self._count_lock:
+            self._n_releases += 1
 
     # -- budget accounting ----------------------------------------------
     @property

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.composition import CompositionAccountant, compose_epsilons
-from repro.exceptions import PrivacyParameterError
+from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
 
 
 class TestComposeEpsilons:
@@ -68,6 +68,28 @@ class TestAccountant:
 
     def test_empty_total(self):
         assert CompositionAccountant().total_epsilon() == 0.0
+
+    def test_aggregates_only_mode_enforces_without_a_trail(self):
+        """audit_trail=False: same budget enforcement, O(1) memory — the
+        mode for indefinite streaming sessions whose per-yield debits would
+        otherwise grow ``records`` forever."""
+        acc = CompositionAccountant(budget=3.0, audit_trail=False)
+        for _ in range(3):
+            acc.record(1.0, quilt_signature="s")
+        assert acc.records == []  # no trail kept
+        assert len(acc) == 3
+        assert acc.total_epsilon() == pytest.approx(3.0)
+        assert acc.remaining() == pytest.approx(0.0)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            acc.record(1.0, quilt_signature="s")
+        assert excinfo.value.spent == pytest.approx(3.0)
+        assert len(acc) == 3
+
+    def test_aggregates_only_mode_still_checks_signatures(self):
+        acc = CompositionAccountant(audit_trail=False)
+        acc.record(1.0, quilt_signature="a")
+        with pytest.raises(PrivacyParameterError):
+            acc.record(1.0, quilt_signature="b")
 
 
 class TestMechanismIntegration:

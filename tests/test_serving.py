@@ -345,6 +345,40 @@ class TestPrivacyEngine:
         with pytest.raises(BudgetExhaustedError):
             engine.release(data, query)
 
+    def test_refused_batch_carries_partial_progress_payload(self, family, data, query):
+        """A mid-deployment refusal reports exactly where the ledger stands:
+        spent, remaining, what was asked, and that the atomic batch
+        completed nothing."""
+        engine = PrivacyEngine(
+            MQMExact(family, 1.0, max_window=20), epsilon_budget=5.0
+        )
+        engine.release_repeated(data, query, 3)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            engine.release_batch([(data, query)] * 4)
+        error = excinfo.value
+        assert error.budget == 5.0
+        assert error.spent == pytest.approx(3.0)
+        assert error.remaining == pytest.approx(2.0)
+        assert error.requested == 4
+        assert error.n_completed == 0
+        assert error.ledger()["spent"] == error.spent
+        # The streamed counterpart (n_completed = yields so far) is audited
+        # in tests/test_streaming_properties.py.
+
+    def test_stream_is_reachable_from_the_engine(self, family, data, query):
+        """The streaming entry point: engine.stream() sessions share the
+        engine's cache, budget, and counter (deep coverage lives in the
+        test_streaming_* suites)."""
+        engine = PrivacyEngine(
+            MQMExact(family, 1.0, max_window=20), epsilon_budget=10.0
+        )
+        with engine.stream(data, query, rng=1, max_releases=4) as session:
+            releases = list(session)
+        assert len(releases) == 4
+        assert engine.n_releases == 4
+        assert engine.spent_epsilon() == pytest.approx(4.0)
+        assert engine.cache.misses == 1
+
     def test_unlimited_budget(self, family, data, query):
         engine = PrivacyEngine(MQMExact(family, 1.0, max_window=20))
         engine.release_repeated(data, query, 50)
