@@ -20,6 +20,7 @@ ROOT = Path(__file__).resolve().parent.parent
 #: coverage regression the glob alone would silently absorb.
 REQUIRED = frozenset(
     {
+        "benchmarks.bench_accounting",
         "benchmarks.bench_engine_throughput",
         "benchmarks.bench_inference",
         "benchmarks.bench_parallel_calibration",

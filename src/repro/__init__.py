@@ -18,6 +18,11 @@ Public API highlights
 * Inference: :class:`~repro.inference.engine.InferenceEngine` — the
   einsum variable-elimination engine behind every general-network
   marginal/conditional (``repro.inference``).
+* Accounting: :class:`~repro.core.composition.CompositionAccountant`
+  (linear, Theorem 4.4) and :class:`~repro.core.accounting.RenyiAccountant`
+  (Rényi-Pufferfish strong composition), with
+  :class:`~repro.core.gaussian.GaussianMarkovQuiltMechanism` as the
+  Gaussian-noise MQM variant built for the Rényi regime.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -30,10 +35,12 @@ from repro.baselines import (
     IndividualDPMechanism,
 )
 from repro.core import (
+    BaseAccountant,
     Calibration,
     CompositionAccountant,
     CountQuery,
     FluCliqueModel,
+    GaussianMarkovQuiltMechanism,
     MQMApprox,
     MQMExact,
     MarkovChainModel,
@@ -43,6 +50,7 @@ from repro.core import (
     PufferfishInstantiation,
     Query,
     RelativeFrequencyHistogram,
+    RenyiAccountant,
     Secret,
     SecretPair,
     StateFrequencyQuery,
@@ -52,6 +60,7 @@ from repro.core import (
     chain_max_influence,
     effective_epsilon,
     entrywise_instantiation,
+    pure_rdp_curve,
     wasserstein_bound,
 )
 from repro.data import StudyGroup, TimeSeriesDataset
@@ -78,6 +87,7 @@ from repro.distributions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaseAccountant",
     "Calibration",
     "CalibrationCache",
     "CompositionAccountant",
@@ -88,6 +98,7 @@ __all__ = [
     "FiniteChainFamily",
     "FluCliqueModel",
     "GK16Mechanism",
+    "GaussianMarkovQuiltMechanism",
     "GroupDPMechanism",
     "IndividualDPMechanism",
     "InMemoryLRUCache",
@@ -107,6 +118,7 @@ __all__ = [
     "Query",
     "RelativeFrequencyHistogram",
     "ReleaseSession",
+    "RenyiAccountant",
     "Secret",
     "SecretPair",
     "StateFrequencyQuery",
@@ -120,6 +132,7 @@ __all__ = [
     "engine_for",
     "entrywise_instantiation",
     "max_divergence",
+    "pure_rdp_curve",
     "total_variation",
     "w_infinity",
     "wasserstein_bound",

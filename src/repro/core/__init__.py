@@ -3,6 +3,11 @@ the Wasserstein Mechanism, the Markov Quilt Mechanism and its Markov-chain
 specializations, composition accounting, and the close-adversary robustness
 bound."""
 
+from repro.core.accounting import (
+    BaseAccountant,
+    RenyiAccountant,
+    pure_rdp_curve,
+)
 from repro.core.composition import CompositionAccountant, CompositionRecord
 from repro.core.framework import (
     PufferfishInstantiation,
@@ -10,7 +15,18 @@ from repro.core.framework import (
     SecretPair,
     entrywise_instantiation,
 )
-from repro.core.laplace import Calibration, Mechanism, PrivateRelease, sample_laplace
+from repro.core.gaussian import (
+    GaussianMarkovQuiltMechanism,
+    gaussian_rho,
+    rho_to_epsilon,
+)
+from repro.core.laplace import (
+    Calibration,
+    Mechanism,
+    PrivateRelease,
+    sample_gaussian,
+    sample_laplace,
+)
 from repro.core.markov_quilt import MarkovQuiltMechanism, max_influence
 from repro.core.models import (
     DataModel,
@@ -32,12 +48,14 @@ from repro.core.robustness import adversary_distance, effective_epsilon
 from repro.core.wasserstein import WassersteinMechanism, wasserstein_bound
 
 __all__ = [
+    "BaseAccountant",
     "Calibration",
     "CompositionAccountant",
     "CompositionRecord",
     "CountQuery",
     "DataModel",
     "FluCliqueModel",
+    "GaussianMarkovQuiltMechanism",
     "MQMApprox",
     "MQMExact",
     "MarkovChainModel",
@@ -48,6 +66,7 @@ __all__ = [
     "PufferfishInstantiation",
     "Query",
     "RelativeFrequencyHistogram",
+    "RenyiAccountant",
     "ScalarQuery",
     "Secret",
     "SecretPair",
@@ -59,7 +78,11 @@ __all__ = [
     "chain_max_influence",
     "effective_epsilon",
     "entrywise_instantiation",
+    "gaussian_rho",
     "max_influence",
+    "pure_rdp_curve",
+    "rho_to_epsilon",
+    "sample_gaussian",
     "sample_laplace",
     "wasserstein_bound",
 ]

@@ -1,0 +1,396 @@
+"""Budget accountants: the shared ledger contract and Rényi composition.
+
+Two accountants enforce one epsilon budget behind one interface:
+
+* :class:`~repro.core.composition.CompositionAccountant` — the paper's
+  linear rule (Theorem 4.4): ``K`` releases at levels ``eps_1..eps_K`` with
+  a shared active quilt compose to ``K * max_k eps_k``.
+* :class:`RenyiAccountant` — Rényi-Pufferfish composition in the style of
+  Pierquin et al. ("Rényi Pufferfish Privacy") and Bai et al. ("Composition
+  for Pufferfish Privacy"): each release's cost is tracked as a *Rényi
+  divergence curve* over a grid of orders ``alpha``, curves add across
+  releases order-by-order, and the spent budget is the ``(epsilon, delta)``
+  conversion minimized over the grid.  For long release streams this is the
+  strong-composition regime — ``O(sqrt(K))`` epsilon growth instead of
+  ``O(K)`` — which directly multiplies how many releases one budget serves.
+
+Both accountants subclass :class:`BaseAccountant`, which owns the entire
+check-then-record cycle: the lock discipline (one reentrant mutex around
+check *and* commit, so concurrent recorders can never jointly over-spend),
+input validation, the same-quilt signature condition, the audit trail, and
+the :class:`~repro.exceptions.BudgetExhaustedError` payload (including the
+structured ``accountant`` field naming the class that refused).  Subclasses
+only provide the arithmetic — what a release costs and what the running
+total converts to — so the two accountants cannot drift on thread safety or
+pickling behavior.
+
+Soundness of the Rényi ledger
+-----------------------------
+Pufferfish privacy does not compose in general; the linear accountant is
+*proved* for MQM under the fixed-active-quilt condition (Theorem 4.4), and
+the Rényi accountant enforces exactly the same signature condition and
+inherits the same caveat (see the ADR in ``docs/architecture.md``).  Under
+that condition, the per-release cost curves used here are conservative:
+
+* a pure ``eps``-Pufferfish release (Laplace mechanisms) is charged
+  ``min(eps, alpha * eps^2 / 2)`` at order ``alpha`` — the Bun–Steinke
+  zCDP bound for a pointwise-bounded log-likelihood ratio, capped by the
+  order-monotone ``D_alpha <= D_inf = eps``;
+* a mechanism exposing ``rdp_curve(orders)`` (the Gaussian Markov Quilt
+  Mechanism) is charged its own curve.
+
+The order grid always contains ``alpha = inf``, where the per-release cost
+of a pure release is exactly ``eps`` and the ``(epsilon, delta)``
+conversion adds nothing.  The converted total is therefore **never larger
+than the linear total** — the Rényi accountant can only stop *later* than
+linear accounting, never earlier (``tests/test_accounting.py`` proves this
+on randomized schedules).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
+
+#: Absolute slack on every budget comparison (float-sum noise only).
+BUDGET_ATOL = 1e-12
+
+#: Default Rényi order grid.  Small orders capture the strong-composition
+#: regime (optimal ``alpha`` is ``1 + sqrt(log(1/delta) / (K eps^2 / 2))``
+#: for K pure-eps releases); the mandatory ``inf`` entry pins the ledger to
+#: the linear total so Rényi accounting is never worse than linear.
+DEFAULT_ORDERS: tuple[float, ...] = (
+    1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0,
+    24.0, 32.0, 48.0, 64.0, 128.0, 256.0, math.inf,
+)
+
+#: Signature of a mechanism-supplied Rényi cost curve: maps an array of
+#: orders to the per-release Rényi divergence bound at each order.
+RdpCurve = Callable[[np.ndarray], np.ndarray]
+
+
+def pure_rdp_curve(epsilon: float, orders: np.ndarray) -> np.ndarray:
+    """Rényi cost curve of one pure ``epsilon``-Pufferfish release.
+
+    ``min(eps, alpha * eps^2 / 2)`` per order: the ``alpha * eps^2 / 2``
+    branch is the Bun–Steinke 2016 (Prop. 3.3) sub-Gaussian bound, whose
+    proof needs only ``sup |log p/q| <= eps`` and so applies verbatim to the
+    Pufferfish secret-pair conditionals; the ``eps`` cap is monotonicity of
+    Rényi divergence in the order (``D_alpha <= D_inf``).  At
+    ``alpha = inf`` the curve is exactly ``eps``.
+    """
+    orders = np.asarray(orders, dtype=float)
+    with np.errstate(invalid="ignore"):  # inf * 0 at (inf, eps=0) never occurs: eps > 0
+        quadratic = 0.5 * orders * epsilon * epsilon
+    return np.minimum(float(epsilon), quadratic)
+
+
+@dataclass(frozen=True)
+class CompositionRecord:
+    """One recorded release."""
+
+    epsilon: float
+    mechanism: str
+    quilt_signature: Hashable
+
+
+class BaseAccountant:
+    """The shared check-then-record contract of every budget accountant.
+
+    Subclasses are dataclasses exposing ``budget`` / ``records`` /
+    ``audit_trail`` fields and implement three arithmetic hooks — all called
+    with the mutex held:
+
+    * :meth:`_stage_locked` — the prospective total if ``n`` more releases
+      at ``epsilon`` were admitted, plus an opaque commit token;
+    * :meth:`_apply_locked` — commit a staged token;
+    * :meth:`_spent_locked` — the current total.
+
+    Everything else — the reentrant mutex around the whole
+    check-then-record cycle, ``__getstate__``/``__setstate__`` dropping and
+    rebuilding the lock for pickling, parameter validation, the Theorem 4.4
+    same-quilt signature condition, the audit trail / ``audit_trail=False``
+    aggregates-only mode, and the structured
+    :class:`~repro.exceptions.BudgetExhaustedError` payload — lives here
+    once, so the accountants cannot drift on any of it.
+    """
+
+    # -- runtime state shared by all subclasses -------------------------
+    def _init_runtime(self) -> None:
+        """Build the non-field runtime state (called from __post_init__)."""
+        self._count = len(self.records)
+        self._signatures = {r.quilt_signature for r in self.records}
+        # Reentrant so locked methods may call other locked methods
+        # (total_epsilon -> is_composable).  Dropped/rebuilt across pickling.
+        self._mutex = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_mutex", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.RLock()
+
+    # -- arithmetic hooks (subclass responsibility) ---------------------
+    def _spent_locked(self) -> float:
+        """Current composed guarantee (mutex held)."""
+        raise NotImplementedError
+
+    def _stage_locked(
+        self, n_releases: int, epsilon: float, rdp_curve: RdpCurve | None
+    ) -> tuple[float, Any]:
+        """``(prospective_total, commit_token)`` for ``n`` more releases
+        (mutex held).  Nothing is mutated."""
+        raise NotImplementedError
+
+    def _apply_locked(self, token: Any) -> None:
+        """Commit a token produced by :meth:`_stage_locked` (mutex held)."""
+        raise NotImplementedError
+
+    # -- the one check-then-record cycle --------------------------------
+    def record(
+        self,
+        epsilon: float,
+        *,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+        rdp_curve: RdpCurve | None = None,
+    ) -> CompositionRecord:
+        """Register a release; raises if it would exceed the budget or break
+        the same-quilt condition."""
+        return self.record_many(
+            1,
+            epsilon,
+            mechanism=mechanism,
+            quilt_signature=quilt_signature,
+            rdp_curve=rdp_curve,
+        )[0]
+
+    def record_many(
+        self,
+        n_releases: int,
+        epsilon: float,
+        *,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+        rdp_curve: RdpCurve | None = None,
+    ) -> list[CompositionRecord]:
+        """Register ``n_releases`` identical releases atomically.
+
+        The serving layer's batched path records whole batches through here;
+        either every release fits under the budget (and shares the standing
+        quilt signature) or none is recorded.  The audit trail stores one
+        frozen record object referenced ``n_releases`` times.
+
+        ``rdp_curve`` optionally supplies the releases' own Rényi cost curve
+        (mechanisms exposing ``rdp_curve``, e.g. the Gaussian MQM); the
+        linear accountant ignores it, the Rényi accountant uses it in place
+        of the conservative pure-release curve.
+        """
+        if epsilon <= 0:
+            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        with self._mutex:
+            if self._signatures and quilt_signature not in self._signatures:
+                raise PrivacyParameterError(
+                    "releases use different active Markov quilts; Theorem 4.4 does "
+                    "not apply and Pufferfish privacy may not compose"
+                )
+            total, token = self._stage_locked(n_releases, float(epsilon), rdp_curve)
+            if self.budget is not None and total > self.budget + BUDGET_ATOL:
+                spent = self._spent_locked()
+                raise BudgetExhaustedError(
+                    f"{n_releases} release(s) would bring the composed guarantee "
+                    f"to {total:.4g}, exceeding the budget of {self.budget:.4g} "
+                    f"(spent {spent:.4g}, remaining "
+                    f"{max(0.0, self.budget - spent):.4g})",
+                    budget=self.budget,
+                    spent=spent,
+                    remaining=max(0.0, self.budget - spent),
+                    requested=n_releases,
+                    n_completed=0,
+                    accountant=type(self).__name__,
+                )
+            self._apply_locked(token)
+            record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+            if self.audit_trail:
+                self.records.extend([record] * n_releases)
+            self._count += n_releases
+            self._signatures.add(quilt_signature)
+            return [record] * n_releases
+
+    # -- shared reads ----------------------------------------------------
+    @property
+    def is_composable(self) -> bool:
+        """Whether all recorded releases share one quilt signature."""
+        with self._mutex:
+            return len(self._signatures) <= 1
+
+    def total_epsilon(self) -> float:
+        """The composed guarantee accumulated so far (0.0 when empty)."""
+        with self._mutex:
+            if not self.is_composable:
+                raise PrivacyParameterError(
+                    "releases use different active Markov quilts; no composition "
+                    "guarantee is available"
+                )
+            return self._spent_locked()
+
+    def remaining(self) -> float | None:
+        """Remaining budget, or ``None`` when no budget was set."""
+        with self._mutex:
+            if self.budget is None:
+                return None
+            return max(0.0, self.budget - self._spent_locked())
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return self._count
+
+
+@dataclass
+class RenyiAccountant(BaseAccountant):
+    """Rényi-Pufferfish composition behind the linear accountant's contract.
+
+    Per release, a Rényi cost curve over :attr:`orders` is added to the
+    running curve (order-by-order — Rényi divergence composes additively
+    under the same fixed-quilt condition the linear accountant enforces via
+    signatures).  The *spent epsilon* reported against the budget is the
+    standard RDP-to-DP conversion, minimized over the grid::
+
+        epsilon(delta) = min_alpha [ rdp(alpha) + log(1/delta) / (alpha - 1) ]
+
+    with the ``alpha = inf`` grid entry contributing ``rdp(inf)`` exactly
+    (no conversion overhead), so the converted total never exceeds the
+    linear sum — this accountant stops *no earlier* than
+    :class:`~repro.core.composition.CompositionAccountant`, and strictly
+    later once enough releases accumulate (the strong-composition regime).
+    The guarantee enforced is therefore ``(budget, delta)``-Pufferfish
+    rather than the linear accountant's pure ``budget``-Pufferfish.
+
+    Parameters
+    ----------
+    budget:
+        Optional total epsilon budget at :attr:`delta`; :meth:`record`
+        raises once the converted guarantee would exceed it.
+    delta:
+        The failure probability of the converted guarantee (must be in
+        ``(0, 1)``).
+    orders:
+        The alpha grid.  Must be finite values ``> 1`` plus optionally
+        ``inf``; ``inf`` is always appended if missing (it is what makes
+        the accountant never-worse-than-linear).
+    audit_trail:
+        As for the linear accountant: ``False`` keeps only O(1) aggregates.
+    """
+
+    budget: float | None = None
+    delta: float = 1e-6
+    orders: Sequence[float] = DEFAULT_ORDERS
+    records: list[CompositionRecord] = field(default_factory=list)
+    audit_trail: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta < 1.0:
+            raise PrivacyParameterError(
+                f"delta must be in (0, 1), got {self.delta}"
+            )
+        orders = tuple(float(a) for a in self.orders)
+        if any(a <= 1.0 for a in orders):
+            raise PrivacyParameterError(
+                f"all Rényi orders must be > 1, got {sorted(orders)}"
+            )
+        if not orders or not math.isinf(max(orders)):
+            orders = orders + (math.inf,)
+        self.orders = tuple(sorted(set(orders)))
+        self._order_array = np.array(self.orders, dtype=float)
+        # log(1/delta)/(alpha-1) conversion overhead per order; 0 at inf.
+        with np.errstate(divide="ignore"):
+            self._overhead = math.log(1.0 / self.delta) / (self._order_array - 1.0)
+        self._overhead[np.isinf(self._order_array)] = 0.0
+        self._rdp = np.zeros_like(self._order_array)
+        self._init_runtime()
+        if self.records:
+            # Rebuild the curve from the audit trail (pure-curve costs; a
+            # trail cannot carry mechanism-supplied curves, so this path is
+            # only exact for pure releases — documented in the ADR).
+            for record in self.records:
+                self._rdp += pure_rdp_curve(record.epsilon, self._order_array)
+
+    # -- arithmetic hooks -------------------------------------------------
+    def _costs(self, epsilon: float, rdp_curve: RdpCurve | None) -> np.ndarray:
+        costs = (
+            np.asarray(rdp_curve(self._order_array), dtype=float)
+            if rdp_curve is not None
+            else pure_rdp_curve(epsilon, self._order_array)
+        )
+        if costs.shape != self._order_array.shape:
+            raise PrivacyParameterError(
+                f"rdp_curve returned shape {costs.shape}, expected "
+                f"{self._order_array.shape}"
+            )
+        if np.any(np.isnan(costs)) or np.any(costs < 0):
+            raise PrivacyParameterError(
+                "rdp_curve must return non-negative, non-NaN costs"
+            )
+        return costs
+
+    def _convert(self, rdp: np.ndarray) -> float:
+        """``(epsilon, delta)`` conversion of a total curve: min over orders
+        of ``rdp(alpha) + log(1/delta)/(alpha-1)`` (exact at ``inf``)."""
+        if not self._count and not rdp.any():
+            return 0.0
+        return float(np.min(rdp + self._overhead))
+
+    def _spent_locked(self) -> float:
+        return self._convert(self._rdp)
+
+    def _stage_locked(
+        self, n_releases: int, epsilon: float, rdp_curve: RdpCurve | None
+    ) -> tuple[float, Any]:
+        prospective = self._rdp + n_releases * self._costs(epsilon, rdp_curve)
+        total = float(np.min(prospective + self._overhead))
+        return total, prospective
+
+    def _apply_locked(self, token: np.ndarray) -> None:
+        self._rdp = token
+
+    # -- Rényi introspection ----------------------------------------------
+    def rdp_totals(self) -> dict[float, float]:
+        """The accumulated Rényi cost per order (a copy)."""
+        with self._mutex:
+            return {
+                float(a): float(c)
+                for a, c in zip(self._order_array, self._rdp)
+            }
+
+    def epsilon_at(self, delta: float) -> float:
+        """The spent guarantee converted at an arbitrary ``delta``."""
+        if not 0.0 < delta < 1.0:
+            raise PrivacyParameterError(f"delta must be in (0, 1), got {delta}")
+        with self._mutex:
+            if not self._count:
+                return 0.0
+            with np.errstate(divide="ignore"):
+                overhead = math.log(1.0 / delta) / (self._order_array - 1.0)
+            overhead[np.isinf(self._order_array)] = 0.0
+            return float(np.min(self._rdp + overhead))
+
+    def optimal_order(self) -> float:
+        """The grid order achieving the reported conversion (the
+        "optimal alpha"); ``inf`` until strong composition starts to win."""
+        with self._mutex:
+            if not self._count:
+                return math.inf
+            return float(self._order_array[int(np.argmin(self._rdp + self._overhead))])

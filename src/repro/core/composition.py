@@ -9,29 +9,31 @@ exactly ``K * eps`` when the levels are equal).
 :class:`CompositionAccountant` tracks releases, verifies the same-quilt
 condition via a hashable *quilt signature* (see
 :meth:`~repro.core.markov_quilt.MarkovQuiltMechanism.quilt_signature`), and
-reports the accumulated guarantee.
+reports the accumulated guarantee.  The check-then-record cycle, lock
+discipline, audit trail, and refusal payload all live in the shared
+:class:`~repro.core.accounting.BaseAccountant` — this module only supplies
+the linear arithmetic.  The Rényi alternative
+(:class:`~repro.core.accounting.RenyiAccountant`) implements the same
+contract with strong-composition arithmetic.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any
 
-from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
+from repro.core.accounting import (
+    BaseAccountant,
+    CompositionRecord,
+    RdpCurve,
+)
+from repro.exceptions import PrivacyParameterError
 
-
-@dataclass(frozen=True)
-class CompositionRecord:
-    """One recorded release."""
-
-    epsilon: float
-    mechanism: str
-    quilt_signature: Hashable
+__all__ = ["CompositionAccountant", "CompositionRecord", "compose_epsilons"]
 
 
 @dataclass
-class CompositionAccountant:
+class CompositionAccountant(BaseAccountant):
     """Tracks Markov Quilt Mechanism releases over one database.
 
     The Theorem 4.4 guarantee only depends on ``(count, max epsilon, shared
@@ -40,18 +42,21 @@ class CompositionAccountant:
     served.  ``records`` remains the full audit trail; treat it as read-only
     (mutating it externally desynchronizes the aggregates).
 
-    **Thread safety.**  The check-then-record cycle of :meth:`record_many`
-    holds an internal lock, so concurrent recorders (two streaming sessions
-    sharing one engine budget, a stream racing a batch) can never both pass
-    the budget check and jointly over-spend — the race
-    ``tests/test_streaming_concurrency.py`` hammers.  Reads
-    (:meth:`total_epsilon`, :meth:`remaining`, ``len``) take the same lock,
-    so they never observe a half-applied record.
+    **Thread safety.**  The check-then-record cycle of
+    :meth:`~repro.core.accounting.BaseAccountant.record_many` holds an
+    internal lock (see :class:`~repro.core.accounting.BaseAccountant`), so
+    concurrent recorders (two streaming sessions sharing one engine budget,
+    a stream racing a batch) can never both pass the budget check and
+    jointly over-spend — the race ``tests/test_streaming_concurrency.py``
+    hammers.  Reads (:meth:`~repro.core.accounting.BaseAccountant.
+    total_epsilon`, :meth:`~repro.core.accounting.BaseAccountant.remaining`,
+    ``len``) take the same lock, so they never observe a half-applied
+    record.
 
     Parameters
     ----------
     budget:
-        Optional total epsilon budget; :meth:`record` raises once the
+        Optional total epsilon budget; ``record`` raises once the
         accumulated guarantee would exceed it.
     audit_trail:
         When ``True`` (default) every release appends to ``records``.  An
@@ -66,111 +71,23 @@ class CompositionAccountant:
     audit_trail: bool = True
 
     def __post_init__(self) -> None:
-        self._count = len(self.records)
         self._worst = max((r.epsilon for r in self.records), default=0.0)
-        self._signatures = {r.quilt_signature for r in self.records}
-        # Reentrant so locked methods may call other locked methods
-        # (total_epsilon -> is_composable).  Dropped/rebuilt across pickling.
-        self._mutex = threading.RLock()
+        self._init_runtime()
 
-    def __getstate__(self) -> dict:
-        state = self.__dict__.copy()
-        state.pop("_mutex", None)
-        return state
+    # -- linear arithmetic (mutex held by the base) ----------------------
+    def _spent_locked(self) -> float:
+        return self._count * self._worst
 
-    def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
-        self._mutex = threading.RLock()
+    def _stage_locked(
+        self, n_releases: int, epsilon: float, rdp_curve: RdpCurve | None
+    ) -> tuple[float, Any]:
+        # Linear accounting has no use for a Rényi curve; Theorem 4.4 only
+        # reads (count, worst epsilon).
+        worst = max(self._worst, epsilon)
+        return (self._count + n_releases) * worst, worst
 
-    def record(
-        self,
-        epsilon: float,
-        *,
-        mechanism: str = "MQM",
-        quilt_signature: Hashable = None,
-    ) -> CompositionRecord:
-        """Register a release; raises if it would exceed the budget or break
-        the same-quilt condition."""
-        return self.record_many(
-            1, epsilon, mechanism=mechanism, quilt_signature=quilt_signature
-        )[0]
-
-    def record_many(
-        self,
-        n_releases: int,
-        epsilon: float,
-        *,
-        mechanism: str = "MQM",
-        quilt_signature: Hashable = None,
-    ) -> list[CompositionRecord]:
-        """Register ``n_releases`` identical releases atomically.
-
-        The serving layer's batched path records whole batches through here;
-        either every release fits under the budget (and shares the standing
-        quilt signature) or none is recorded.  The audit trail stores one
-        frozen record object referenced ``n_releases`` times.
-        """
-        if epsilon <= 0:
-            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
-        if n_releases < 1:
-            raise PrivacyParameterError(
-                f"n_releases must be >= 1, got {n_releases}"
-            )
-        with self._mutex:
-            if self._signatures and quilt_signature not in self._signatures:
-                raise PrivacyParameterError(
-                    "releases use different active Markov quilts; Theorem 4.4 does "
-                    "not apply and Pufferfish privacy may not compose"
-                )
-            worst = max(self._worst, float(epsilon))
-            total = (self._count + n_releases) * worst
-            if self.budget is not None and total > self.budget + 1e-12:
-                spent = self._count * self._worst
-                raise BudgetExhaustedError(
-                    f"{n_releases} release(s) would bring the composed guarantee "
-                    f"to {total:.4g}, exceeding the budget of {self.budget:.4g} "
-                    f"(spent {spent:.4g}, remaining "
-                    f"{max(0.0, self.budget - spent):.4g})",
-                    budget=self.budget,
-                    spent=spent,
-                    remaining=max(0.0, self.budget - spent),
-                    requested=n_releases,
-                    n_completed=0,
-                )
-            record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
-            if self.audit_trail:
-                self.records.extend([record] * n_releases)
-            self._count += n_releases
-            self._worst = worst
-            self._signatures.add(quilt_signature)
-            return [record] * n_releases
-
-    @property
-    def is_composable(self) -> bool:
-        """Whether all recorded releases share one quilt signature."""
-        with self._mutex:
-            return len(self._signatures) <= 1
-
-    def total_epsilon(self) -> float:
-        """The composed guarantee ``K * max_k eps_k`` (0.0 when empty)."""
-        with self._mutex:
-            if not self.is_composable:
-                raise PrivacyParameterError(
-                    "releases use different active Markov quilts; no composition "
-                    "guarantee is available"
-                )
-            return self._count * self._worst
-
-    def remaining(self) -> float | None:
-        """Remaining budget, or ``None`` when no budget was set."""
-        with self._mutex:
-            if self.budget is None:
-                return None
-            return max(0.0, self.budget - self._count * self._worst)
-
-    def __len__(self) -> int:
-        with self._mutex:
-            return self._count
+    def _apply_locked(self, token: float) -> None:
+        self._worst = token
 
 
 def compose_epsilons(epsilons: list[float]) -> float:

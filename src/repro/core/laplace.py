@@ -47,6 +47,27 @@ def sample_laplace(
     return gen.laplace(loc=0.0, scale=scale, size=size)
 
 
+def sample_gaussian(
+    scale: float,
+    size: int | tuple[int, ...] | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> float | np.ndarray:
+    """Draw from ``N(0, scale^2)`` as ``scale * standard_normal``.
+
+    The explicit ``scale * z`` form (rather than ``Generator.normal(0,
+    scale)``) makes the scalar path bit-identical by construction to the
+    serving layer's vectorized standard-draw-then-scale path, mirroring the
+    Laplace guarantee the streaming suite relies on.  A scale of 0 returns
+    exact zeros.
+    """
+    if scale < 0:
+        raise PrivacyParameterError(f"Gaussian scale must be >= 0, got {scale}")
+    gen = resolve_rng(rng)
+    if scale == 0:
+        return 0.0 if size is None else np.zeros(size)
+    return scale * gen.standard_normal(size=size)
+
+
 def laplace_density(w: np.ndarray | float, center: float, scale: float) -> np.ndarray | float:
     """Density of ``center + Lap(scale)`` at ``w`` — used by the numeric
     privacy-verification tests."""
@@ -167,6 +188,12 @@ class Mechanism(ABC):
     #: Mechanism name used in reports ("MQMExact", "GroupDP", ...).
     name: str = "Mechanism"
 
+    #: Noise family added per coordinate: ``"laplace"`` (every paper
+    #: mechanism) or ``"gaussian"`` (the Rényi-Pufferfish additive-noise
+    #: variants, e.g. ``GaussianMarkovQuiltMechanism``).  The serving
+    #: layer's vectorized batch/stream draws dispatch on this attribute.
+    noise_kind: str = "laplace"
+
     def __init__(self, epsilon: float) -> None:
         if epsilon <= 0:
             raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
@@ -180,6 +207,35 @@ class Mechanism(ABC):
     def scale_details(self, query: Query, data: np.ndarray) -> dict[str, Any]:
         """Optional diagnostics attached to releases (override as needed)."""
         return {}
+
+    def standard_noise(
+        self, gen: np.random.Generator, size: int | tuple[int, ...] | None
+    ) -> float | np.ndarray:
+        """Unit-scale draws from this mechanism's noise family.
+
+        The serving layer scales these per coordinate (``scale * draw``),
+        which for both families is bit-identical to the scalar
+        :meth:`sample_noise` path under one generator because numpy's
+        ``Generator`` fills arrays sample-by-sample from the bit stream.
+        """
+        if self.noise_kind == "laplace":
+            return gen.laplace(size=size)
+        if self.noise_kind == "gaussian":
+            return gen.standard_normal(size=size)
+        raise PrivacyParameterError(f"unknown noise kind {self.noise_kind!r}")
+
+    def sample_noise(
+        self,
+        scale: float,
+        size: int | tuple[int, ...] | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> float | np.ndarray:
+        """Scaled draws from this mechanism's noise family (scalar path)."""
+        if self.noise_kind == "laplace":
+            return sample_laplace(scale, size, rng)
+        if self.noise_kind == "gaussian":
+            return sample_gaussian(scale, size, rng)
+        raise PrivacyParameterError(f"unknown noise kind {self.noise_kind!r}")
 
     def calibrate(
         self,
@@ -260,9 +316,11 @@ class Mechanism(ABC):
             calibration = self.calibrate(query, data)
         scale = calibration.scale
         if query.output_dim == 1:
-            noisy: float | np.ndarray = float(true_value) + float(sample_laplace(scale, None, gen))
+            noisy: float | np.ndarray = float(true_value) + float(
+                self.sample_noise(scale, None, gen)
+            )
         else:
-            noisy = np.asarray(true_value, dtype=float) + sample_laplace(
+            noisy = np.asarray(true_value, dtype=float) + self.sample_noise(
                 scale, query.output_dim, gen
             )
         return PrivateRelease(

@@ -229,6 +229,14 @@ class MarkovQuiltMechanism(Mechanism):
             )
             self._sigma_cache[str(node)] = (float(sigma), quilt)
 
+    def _quilt_score(self, quilt: MarkovQuilt, influence: float) -> float:
+        """The sigma contribution of an admissible quilt (Definition 4.5):
+        ``card(X_N) / (epsilon - e_Theta(X_Q|X_i))`` for the Laplace MQM.
+        The Gaussian variant overrides only this hook, so the search loop,
+        memo structure, warm-start snapshots, and per-node parallel shards
+        are shared verbatim."""
+        return quilt.card_nearby() / (self.epsilon - influence)
+
     def sigma_for_node(self, node: str) -> tuple[float, MarkovQuilt]:
         """``(sigma_i, active quilt)`` for one node (Definition 4.5)."""
         if node not in self._sigma_cache:
@@ -237,7 +245,7 @@ class MarkovQuiltMechanism(Mechanism):
             for quilt in self.quilt_sets[node]:
                 influence = max_influence(self.networks, quilt)
                 if influence < self.epsilon:
-                    score = quilt.card_nearby() / (self.epsilon - influence)
+                    score = self._quilt_score(quilt, influence)
                 else:
                     score = float("inf")
                 if score < best_score:

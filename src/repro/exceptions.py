@@ -58,6 +58,13 @@ class BudgetExhaustedError(PrivacyParameterError):
         the refusal: always 0 for an atomic :meth:`PrivacyEngine.release_batch`
         (batches record all-or-nothing), and the number of values already
         yielded for a :class:`~repro.serving.stream.ReleaseSession`.
+    accountant:
+        Class name of the accountant that refused (``"CompositionAccountant"``
+        for linear Theorem 4.4 accounting, ``"RenyiAccountant"`` for Rényi
+        composition).  A service mixing accountants across tenants can tell
+        from the payload alone which accounting regime ran out — the
+        ``spent`` semantics differ (linear sum versus converted Rényi
+        guarantee at the accountant's delta).
 
     All payload fields default to ``None`` when the raiser has no ledger
     (e.g. an exception reconstructed from its message alone).
@@ -72,6 +79,7 @@ class BudgetExhaustedError(PrivacyParameterError):
         remaining: "float | None" = None,
         requested: "int | None" = None,
         n_completed: "int | None" = None,
+        accountant: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.budget = budget
@@ -79,6 +87,7 @@ class BudgetExhaustedError(PrivacyParameterError):
         self.remaining = remaining
         self.requested = requested
         self.n_completed = n_completed
+        self.accountant = accountant
 
     def ledger(self) -> dict:
         """The partial-progress payload as a plain dict (JSON-safe)."""
@@ -88,6 +97,7 @@ class BudgetExhaustedError(PrivacyParameterError):
             "remaining": self.remaining,
             "requested": self.requested,
             "n_completed": self.n_completed,
+            "accountant": self.accountant,
         }
 
 

@@ -166,7 +166,9 @@ class ParallelCalibrator:
             # the worker's inference-engine plan is rebuilt from the
             # fingerprint-keyed registry) but only *its own node's* quilt
             # candidates — see per_node_general_shard for the pruning and
-            # generator-stripping rules.
+            # generator-stripping rules.  Subclasses match here too:
+            # GaussianMarkovQuiltMechanism shards through the same plan,
+            # and the copy.copy clone keeps its delta and Gaussian score.
             missing = [
                 node
                 for node in mechanism.reference.nodes

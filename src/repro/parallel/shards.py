@@ -18,7 +18,11 @@ of *independent* sub-computations:
   pruned per node by :func:`per_node_general_shard`, which ships the exact
   lists the serial search walks — whether they came from the default
   distance shells or a :mod:`repro.distributions.structured` generator —
-  and strips the (possibly unpicklable) generator strategy itself;
+  and strips the (possibly unpicklable) generator strategy itself.  The
+  clone is a ``copy.copy``, so subclasses ride along unchanged: a
+  :class:`~repro.core.gaussian.GaussianMarkovQuiltMechanism` shard carries
+  the subclass (with its ``delta`` and Gaussian ``_quilt_score``) and the
+  worker's per-node search is the Gaussian one, bit-identically;
 * an epsilon sweep evaluates ``sigma_max`` per privacy level;
 * a multi-mechanism trial run calibrates each mechanism separately.
 

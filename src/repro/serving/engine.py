@@ -10,15 +10,19 @@ the latter:
   :class:`~repro.serving.cache.CalibrationCache` keyed on the mechanism's
   content fingerprint, the query signature, the data's segment shape, and
   epsilon;
-* **release many** — :meth:`release_batch` draws all the Laplace noise for a
-  batch in one vectorized ``Generator.laplace`` call instead of one scalar
-  draw per release, bit-identical to sequential releases under the same
-  generator;
-* **never overspend** — every release is recorded against a
-  :class:`~repro.core.composition.CompositionAccountant`; a release (or an
-  entire batch, atomically) that would push the composed guarantee past the
-  engine's budget raises :class:`~repro.exceptions.BudgetExhaustedError`
-  before any noise is drawn;
+* **release many** — :meth:`release_batch` draws all the noise for a batch
+  in one vectorized standard-draw call (Laplace or Gaussian, per the
+  mechanism's ``noise_kind``) instead of one scalar draw per release,
+  bit-identical to sequential releases under the same generator;
+* **never overspend** — every release is recorded against a budget
+  accountant (linear Theorem 4.4
+  :class:`~repro.core.composition.CompositionAccountant` by default, or the
+  Rényi strong-composition
+  :class:`~repro.core.accounting.RenyiAccountant` via ``accountant=``); a
+  release (or an entire batch, atomically) that would push the composed
+  guarantee past the engine's budget raises
+  :class:`~repro.exceptions.BudgetExhaustedError` before any noise is
+  drawn;
 * **stream indefinitely** — :meth:`stream` opens a
   :class:`~repro.serving.stream.ReleaseSession` that yields releases
   incrementally (bit-identical to the batched path under the same seed)
@@ -39,6 +43,7 @@ from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.accounting import BaseAccountant, RenyiAccountant
 from repro.core.composition import CompositionAccountant
 from repro.core.laplace import Calibration, Mechanism, PrivateRelease
 from repro.core.queries import Query
@@ -66,6 +71,16 @@ class PrivacyEngine:
         Optional total epsilon this engine may spend (Theorem 4.4
         accounting: ``K * max_k eps_k`` over K releases).  ``None`` means
         unlimited.
+    accountant:
+        The accounting regime enforcing that budget: ``"linear"`` (default;
+        :class:`~repro.core.composition.CompositionAccountant`, the paper's
+        Theorem 4.4 rule), ``"renyi"``
+        (:class:`~repro.core.accounting.RenyiAccountant`, Rényi-Pufferfish
+        strong composition — long streams stop strictly later under the
+        same budget), or a preconstructed
+        :class:`~repro.core.accounting.BaseAccountant` instance (mutually
+        exclusive with ``epsilon_budget``; configure the instance's own
+        ``budget`` / ``delta`` / ``orders`` instead).
     rng:
         Seed or generator for the engine's noise stream; per-call ``rng``
         arguments override it.
@@ -83,12 +98,30 @@ class PrivacyEngine:
         *,
         cache: CalibrationCache | None = None,
         epsilon_budget: float | None = None,
+        accountant: "str | BaseAccountant | None" = None,
         rng: "int | np.random.Generator | None" = None,
         parallel: "bool | int | ParallelCalibrator | None" = None,  # noqa: F821
     ) -> None:
         self.mechanism = mechanism
         self.cache = cache if cache is not None else CalibrationCache()
-        self.accountant = CompositionAccountant(budget=epsilon_budget)
+        if accountant is None or accountant == "linear":
+            self.accountant: BaseAccountant = CompositionAccountant(
+                budget=epsilon_budget
+            )
+        elif accountant == "renyi":
+            self.accountant = RenyiAccountant(budget=epsilon_budget)
+        elif isinstance(accountant, BaseAccountant):
+            if epsilon_budget is not None:
+                raise ValidationError(
+                    "pass epsilon_budget or a preconstructed accountant, not "
+                    "both — set the budget on the accountant instance"
+                )
+            self.accountant = accountant
+        else:
+            raise ValidationError(
+                f"accountant must be 'linear', 'renyi', or a BaseAccountant "
+                f"instance, got {accountant!r}"
+            )
         self._rng = resolve_rng(rng)
         self._n_releases = 0
         # Guards the release counter only; budget atomicity lives in the
@@ -177,6 +210,7 @@ class PrivacyEngine:
             epsilon,
             mechanism=self.mechanism.name,
             quilt_signature=self._quilt_signature(),
+            rdp_curve=self._rdp_curve(),
         )
 
         dims = np.array([query.output_dim for _, query in requests], dtype=np.int64)
@@ -186,7 +220,9 @@ class PrivacyEngine:
         noise = np.zeros(int(dims.sum()))
         positive = scales > 0
         if positive.any():
-            noise[positive] = scales[positive] * gen.laplace(size=int(positive.sum()))
+            noise[positive] = scales[positive] * self.mechanism.standard_noise(
+                gen, int(positive.sum())
+            )
 
         with self._count_lock:
             self._n_releases += len(requests)
@@ -267,9 +303,21 @@ class PrivacyEngine:
             self.mechanism.epsilon,
             mechanism=self.mechanism.name,
             quilt_signature=quilt_signature,
+            rdp_curve=self._rdp_curve(),
         )
         with self._count_lock:
             self._n_releases += 1
+
+    def _rdp_curve(self):
+        """The mechanism's own Rényi cost curve, if it exposes one.
+
+        Passed to every ``record`` call; the linear accountant ignores it,
+        the Rényi accountant charges it instead of the conservative
+        pure-release curve.  Called after :meth:`calibrate` has run (the
+        engine records post-calibration), so curve implementations may read
+        the warm per-node state.
+        """
+        return getattr(self.mechanism, "rdp_curve", None)
 
     # -- budget accounting ----------------------------------------------
     @property
@@ -278,7 +326,9 @@ class PrivacyEngine:
         return self.accountant.budget
 
     def spent_epsilon(self) -> float:
-        """The composed guarantee accumulated so far (``K * max_k eps_k``)."""
+        """The composed guarantee accumulated so far (``K * max_k eps_k``
+        under linear accounting; the converted Rényi guarantee at the
+        accountant's delta under ``accountant="renyi"``)."""
         return self.accountant.total_epsilon()
 
     def remaining_budget(self) -> float | None:

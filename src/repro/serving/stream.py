@@ -10,7 +10,9 @@ buffering a whole batch or the client committing to a count.
   ``release_batch([(data, query)] * n, rng=seed)`` would return, release by
   release, for every prefix length ``n`` — whatever ``block_size`` is and
   however the caller chunks its draws.  This holds because numpy
-  ``Generator.laplace`` fills arrays sample-by-sample from the bit stream
+  ``Generator`` draws (Laplace and standard-normal alike — the session
+  dispatches on the mechanism's ``noise_kind``) fill arrays
+  sample-by-sample from the bit stream
   (splitting one draw of size ``n`` into consecutive smaller draws is
   bit-identical) and the session performs the exact arithmetic of the
   batched path (``scale * draw`` per coordinate, zero-scale coordinates
@@ -180,7 +182,9 @@ class ReleaseSession:
         size = block * self.query.output_dim
         scale = self._calibration.scale
         if scale > 0:
-            self._noise = scale * self._gen.laplace(size=size)
+            self._noise = scale * self.engine.mechanism.standard_noise(
+                self._gen, size
+            )
         else:
             self._noise = np.zeros(size)
         self._pos = 0

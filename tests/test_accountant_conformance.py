@@ -1,0 +1,327 @@
+"""Accountant conformance: one behavioral contract, two accountants.
+
+Every test in this module runs identically against the linear
+:class:`~repro.core.composition.CompositionAccountant` (Theorem 4.4) and
+the :class:`~repro.core.accounting.RenyiAccountant` (Rényi-Pufferfish
+strong composition).  The two differ *only* in arithmetic — what a release
+costs and what the running total converts to; everything else (the atomic
+check-then-record cycle, refusal payloads, validation, the same-quilt
+signature condition, audit trail, pickling, thread safety) is the shared
+:class:`~repro.core.accounting.BaseAccountant` contract this suite
+certifies.  A behavior difference between the parameterizations is a
+drift bug by definition.
+
+Thread-safety cases follow ``tests/test_streaming_concurrency.py``: GIL
+switch interval dropped, private per-thread actors, shared state only
+through the accountant, and the concurrent outcome compared against a
+sequential reference drain of the same budget.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import threading
+
+import pytest
+
+from repro.core.accounting import BUDGET_ATOL, RenyiAccountant
+from repro.core.composition import CompositionAccountant
+from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
+
+EPSILON = 0.5
+
+#: (name, factory) — factories accept the shared BaseAccountant fields.
+FACTORIES = [
+    ("linear", CompositionAccountant),
+    ("renyi", lambda **kw: RenyiAccountant(delta=1e-5, **kw)),
+]
+
+IDS = [name for name, _ in FACTORIES]
+MAKERS = [factory for _, factory in FACTORIES]
+
+
+@pytest.fixture(params=MAKERS, ids=IDS)
+def make(request):
+    return request.param
+
+
+@pytest.fixture(autouse=True)
+def dense_interleavings():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _run_threads(targets) -> None:
+    threads = [threading.Thread(target=t) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def drain(accountant, epsilon: float = EPSILON, cap: int = 100_000) -> int:
+    """Sequential reference: record until refused, return the count."""
+    served = 0
+    while served < cap:
+        try:
+            accountant.record(epsilon, quilt_signature=("q",))
+            served += 1
+        except BudgetExhaustedError:
+            break
+    return served
+
+
+class TestRecordSemantics:
+    def test_empty_accountant_reads(self, make):
+        accountant = make(budget=4.0)
+        assert len(accountant) == 0
+        assert accountant.total_epsilon() == 0.0
+        assert accountant.remaining() == pytest.approx(4.0)
+        assert accountant.is_composable
+
+    def test_record_returns_the_record_and_counts(self, make):
+        accountant = make()
+        record = accountant.record(
+            EPSILON, mechanism="MQM", quilt_signature=("q",)
+        )
+        assert record.epsilon == EPSILON
+        assert record.mechanism == "MQM"
+        assert record.quilt_signature == ("q",)
+        assert len(accountant) == 1
+        assert accountant.records == [record]
+
+    def test_record_many_is_n_records(self, make):
+        accountant = make()
+        records = accountant.record_many(7, EPSILON, quilt_signature=("q",))
+        assert len(records) == 7
+        assert len(accountant) == 7
+        assert len(accountant.records) == 7
+
+    def test_no_budget_means_unlimited(self, make):
+        accountant = make()
+        assert accountant.remaining() is None
+        accountant.record_many(500, EPSILON, quilt_signature=("q",))
+        assert len(accountant) == 500
+
+    def test_spent_never_exceeds_budget(self, make):
+        budget = 6.0
+        accountant = make(budget=budget)
+        served = drain(accountant)
+        assert served > 0
+        assert accountant.total_epsilon() <= budget + BUDGET_ATOL
+        assert accountant.remaining() == pytest.approx(
+            budget - accountant.total_epsilon()
+        )
+
+    def test_nothing_from_a_refused_call_is_recorded(self, make):
+        accountant = make(budget=2 * EPSILON)
+        accountant.record_many(2, EPSILON, quilt_signature=("q",))
+        before = (
+            len(accountant),
+            accountant.total_epsilon(),
+            list(accountant.records),
+        )
+        with pytest.raises(BudgetExhaustedError):
+            accountant.record_many(50, EPSILON, quilt_signature=("q",))
+        assert (
+            len(accountant),
+            accountant.total_epsilon(),
+            list(accountant.records),
+        ) == before
+
+
+class TestRefusalPayload:
+    def test_payload_names_the_accountant_class(self, make):
+        accountant = make(budget=EPSILON)
+        accountant.record(EPSILON, quilt_signature=("q",))
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            accountant.record(EPSILON, quilt_signature=("q",))
+        error = excinfo.value
+        assert error.accountant == type(accountant).__name__
+        assert error.ledger()["accountant"] == type(accountant).__name__
+
+    def test_payload_is_exact(self, make):
+        budget = 5 * EPSILON
+        accountant = make(budget=budget)
+        drain(accountant)
+        spent = accountant.total_epsilon()
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            accountant.record_many(3, EPSILON, quilt_signature=("q",))
+        error = excinfo.value
+        assert error.budget == budget
+        assert error.spent == pytest.approx(spent)
+        assert error.remaining == pytest.approx(max(0.0, budget - spent))
+        assert error.requested == 3
+        assert error.n_completed == 0
+        assert set(error.ledger()) == {
+            "budget",
+            "spent",
+            "remaining",
+            "requested",
+            "n_completed",
+            "accountant",
+        }
+
+
+class TestValidation:
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0])
+    def test_nonpositive_epsilon_raises(self, make, epsilon):
+        with pytest.raises(PrivacyParameterError):
+            make().record(epsilon)
+
+    @pytest.mark.parametrize("n_releases", [0, -3])
+    def test_nonpositive_count_raises(self, make, n_releases):
+        with pytest.raises(PrivacyParameterError):
+            make().record_many(n_releases, EPSILON)
+
+
+class TestSignatureCondition:
+    def test_mixed_signatures_are_refused(self, make):
+        accountant = make()
+        accountant.record(EPSILON, quilt_signature=("a",))
+        with pytest.raises(PrivacyParameterError, match="Markov quilts"):
+            accountant.record(EPSILON, quilt_signature=("b",))
+        # The refused release was not recorded; the accountant still works.
+        assert len(accountant) == 1
+        accountant.record(EPSILON, quilt_signature=("a",))
+        assert accountant.is_composable
+
+    def test_total_epsilon_requires_composability(self, make):
+        accountant = make()
+        accountant.record(EPSILON, quilt_signature=("a",))
+        # Force the inconsistent state the runtime check prevents, the way a
+        # deserialized foreign trail could: composability must be re-checked
+        # at read time, not only at record time.
+        accountant._signatures.add(("b",))
+        assert not accountant.is_composable
+        with pytest.raises(PrivacyParameterError):
+            accountant.total_epsilon()
+
+
+class TestThreadSafety:
+    def test_record_is_atomic_under_thread_hammering(self, make):
+        """8 threads racing record(): exactly the sequential-reference count
+        succeeds, everything else is refused, the ledger never over-spends."""
+        budget = 40 * EPSILON
+        reference = drain(make(budget=budget))
+        accountant = make(budget=budget)
+        succeeded = [0] * 8
+        refused = [0] * 8
+
+        def hammer(slot: int):
+            for _ in range(20):
+                try:
+                    accountant.record(EPSILON, quilt_signature=("q",))
+                    succeeded[slot] += 1
+                except BudgetExhaustedError:
+                    refused[slot] += 1
+
+        _run_threads([(lambda s=slot: hammer(s)) for slot in range(8)])
+        assert sum(succeeded) == reference
+        assert sum(refused) == 8 * 20 - reference
+        assert len(accountant) == reference
+        assert accountant.total_epsilon() <= budget + BUDGET_ATOL
+
+    def test_record_many_batches_race_atomically(self, make):
+        budget = 30 * EPSILON
+        accountant = make(budget=budget)
+        recorded = [0] * 6
+
+        def hammer(slot: int, batch: int):
+            for _ in range(15):
+                try:
+                    accountant.record_many(
+                        batch, EPSILON, quilt_signature=("q",)
+                    )
+                    recorded[slot] += batch
+                except BudgetExhaustedError:
+                    pass
+
+        _run_threads(
+            [(lambda s=slot: hammer(s, (slot % 3) + 1)) for slot in range(6)]
+        )
+        assert sum(recorded) == len(accountant)
+        assert accountant.total_epsilon() <= budget + BUDGET_ATOL
+
+    def test_concurrent_equal_epsilon_count_matches_sequential(self, make):
+        """Chunked concurrent drains land on the same final count as the
+        sequential drain — accounting is schedule-independent for
+        equal-epsilon releases (both arithmetics are commutative in count)."""
+        budget = 25 * EPSILON
+        reference = drain(make(budget=budget))
+        accountant = make(budget=budget)
+        counts = [0] * 4
+
+        def worker(slot: int):
+            while True:
+                try:
+                    accountant.record(EPSILON, quilt_signature=("q",))
+                    counts[slot] += 1
+                except BudgetExhaustedError:
+                    return
+
+        _run_threads([(lambda s=slot: worker(s)) for slot in range(4)])
+        assert sum(counts) == reference == len(accountant)
+
+
+class TestPickling:
+    def test_roundtrip_preserves_ledger_and_enforces(self, make):
+        accountant = make(budget=3 * EPSILON)
+        accountant.record(EPSILON, quilt_signature=("q",))
+        clone = pickle.loads(pickle.dumps(accountant))
+        assert len(clone) == 1
+        assert clone.total_epsilon() == pytest.approx(
+            accountant.total_epsilon()
+        )
+        clone.record(EPSILON, quilt_signature=("q",))
+        clone.record(EPSILON, quilt_signature=("q",))
+        with pytest.raises(BudgetExhaustedError):
+            clone.record(EPSILON, quilt_signature=("q",))
+
+    def test_getstate_drops_the_lock(self, make):
+        accountant = make()
+        accountant.record(EPSILON, quilt_signature=("q",))
+        state = accountant.__getstate__()
+        assert "_mutex" not in state
+        # The clone rebuilds a working lock of its own.
+        clone = pickle.loads(pickle.dumps(accountant))
+        assert clone._mutex is not accountant._mutex
+        with clone._mutex:
+            pass
+
+    def test_clone_signature_condition_survives(self, make):
+        accountant = make()
+        accountant.record(EPSILON, quilt_signature=("a",))
+        clone = pickle.loads(pickle.dumps(accountant))
+        with pytest.raises(PrivacyParameterError):
+            clone.record(EPSILON, quilt_signature=("b",))
+
+
+class TestAuditTrail:
+    def test_audit_trail_off_keeps_aggregates_only(self, make):
+        with_trail = make(budget=10 * EPSILON)
+        without = make(budget=10 * EPSILON, audit_trail=False)
+        n_with = drain(with_trail)
+        n_without = drain(without)
+        # Same enforcement either way; only the trail differs.
+        assert n_with == n_without
+        assert len(with_trail.records) == n_with
+        assert without.records == []
+        assert len(without) == n_without
+        assert without.total_epsilon() == pytest.approx(
+            with_trail.total_epsilon()
+        )
+
+    def test_trail_rebuild_roundtrips_through_records(self, make):
+        """An accountant rebuilt from another's audit trail reports the
+        same ledger (the restart-from-trail path)."""
+        source = make()
+        source.record_many(4, EPSILON, quilt_signature=("q",))
+        rebuilt = make(records=list(source.records))
+        assert len(rebuilt) == 4
+        assert rebuilt.total_epsilon() == pytest.approx(
+            source.total_epsilon()
+        )

@@ -22,6 +22,11 @@ value):
 * **Close/exhaust semantics** — capped sessions stop at their cap, closed
   sessions stop immediately, and the stats ledger stays consistent
   throughout.
+* **Accountant independence** — the bit-identity and chunk-invariance
+  properties hold verbatim under the Rényi accountant (accounting never
+  touches the noise stream), and on randomized schedules the Rényi stop
+  index is never earlier than the linear one (the inf-order grid entry
+  pins the converted total at or below the linear sum).
 """
 
 from __future__ import annotations
@@ -75,13 +80,19 @@ def random_schedule(rnd: random.Random, total: int) -> list[int]:
     return schedule
 
 
+#: Both accounting regimes; the streaming value contract is identical under
+#: either (the accountant only gatekeeps, it never touches the noise).
+ACCOUNTANTS = ["linear", "renyi"]
+
+
 class TestPrefixBitIdentity:
+    @pytest.mark.parametrize("accountant", ACCOUNTANTS)
     @pytest.mark.parametrize("block_size", [1, 3, 64, 1000])
-    def test_stream_equals_batch_prefix_scalar(self, workload, block_size):
+    def test_stream_equals_batch_prefix_scalar(self, workload, block_size, accountant):
         family, data = workload
         query = StateFrequencyQuery(1, LENGTH)
         expected = batch_values(family, data, query, 40, seed=7)
-        session = make_engine(family).stream(
+        session = make_engine(family, accountant=accountant).stream(
             data, query, rng=7, block_size=block_size
         )
         streamed = [next(session).value for _ in range(40)]
@@ -112,14 +123,15 @@ class TestPrefixBitIdentity:
         for i in range(30):
             assert next(session).value == expected[i]
 
-    def test_random_chunk_schedules_are_value_invariant(self, workload):
+    @pytest.mark.parametrize("accountant", ACCOUNTANTS)
+    def test_random_chunk_schedules_are_value_invariant(self, workload, accountant):
         family, data = workload
         query = StateFrequencyQuery(1, LENGTH)
         total = 50
         expected = batch_values(family, data, query, total, seed=17)
         for seed in SEEDS:
             rnd = random.Random(seed)
-            session = make_engine(family).stream(
+            session = make_engine(family, accountant=accountant).stream(
                 data, query, rng=17, block_size=rnd.randint(1, 96)
             )
             streamed = []
@@ -234,6 +246,45 @@ class TestLedgerInvariants:
             )
 
 
+class TestRenyiNeverStopsEarlier:
+    """The Rényi accountant's stop index is >= the linear one, always.
+
+    Regression for the accountant swap: the inf entry in the order grid
+    makes the converted Rényi total <= the linear sum of epsilons, so for
+    any schedule the Rényi stream serves at least as many releases from
+    the same budget.  Randomized budgets, block sizes, and chunkings.
+    """
+
+    def test_rdp_stop_index_never_earlier_on_random_schedules(self, workload):
+        family, data = workload
+        query = StateFrequencyQuery(1, LENGTH)
+
+        def drain(accountant, rnd_seed: int, budget: float) -> int:
+            rnd = random.Random(rnd_seed)
+            engine = make_engine(
+                family, epsilon_budget=budget, accountant=accountant
+            )
+            session = engine.stream(
+                data, query, rng=1, block_size=rnd.randint(1, 32)
+            )
+            served = 0
+            while True:
+                try:
+                    served += len(session.take(rnd.randint(1, 9)))
+                    next(session)
+                    served += 1
+                except BudgetExhaustedError:
+                    return served
+
+        for seed in SEEDS:
+            budget = random.Random(400 + seed).uniform(2.0, 30.0)
+            linear_served = drain("linear", 400 + seed, budget)
+            renyi_served = drain("renyi", 400 + seed, budget)
+            assert renyi_served >= linear_served
+            # Theorem 4.4 exactness for equal-epsilon schedules.
+            assert linear_served == int(budget / EPSILON + 1e-12)
+
+
 class TestBudgetExhaustedPayload:
     def test_stream_payload_is_exact(self, workload):
         family, data = workload
@@ -255,6 +306,7 @@ class TestBudgetExhaustedPayload:
             "remaining": error.remaining,
             "requested": 1,
             "n_completed": 3,
+            "accountant": "CompositionAccountant",
         }
         # Nothing from the refused draw was recorded; the session remains
         # consistent and keeps refusing with the same ledger.
