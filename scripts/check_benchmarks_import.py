@@ -24,6 +24,7 @@ REQUIRED = frozenset(
         "benchmarks.bench_engine_throughput",
         "benchmarks.bench_inference",
         "benchmarks.bench_parallel_calibration",
+        "benchmarks.bench_service",
         "benchmarks.bench_streaming",
         "benchmarks.bench_structured",
         "benchmarks.bench_wasserstein",

@@ -28,6 +28,12 @@ Commands
     Run the Table 2 synthetic calibration sweep serially and sharded across
     ``--workers`` processes (:class:`repro.parallel.ParallelCalibrator`),
     printing wall times, the speedup, and the bit-identity check as JSON.
+``serve``
+    Run the multi-tenant privacy service (:mod:`repro.service`) on a local
+    HTTP port over a durable tenant-ledger store (``--store`` path; SQLite
+    for ``.sqlite``/``.db`` suffixes, a JSON file otherwise, in-memory when
+    omitted).  Several service processes may share one store — budgets
+    hold across all of them.
 ``info``
     Print version and the experiment inventory.
 """
@@ -328,6 +334,15 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0 if report["bit_identical"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import create_app
+    from repro.service.server import serve
+
+    app = create_app(args.store, reservation_ttl=args.reservation_ttl)
+    serve(app, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
 
@@ -414,6 +429,23 @@ def main(argv: list[str] | None = None) -> int:
         help="per-axis (p0, p1) grid resolution; the paper's Table 2 uses 9",
     )
     p_cal.set_defaults(func=_cmd_calibrate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant privacy service over HTTP"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument(
+        "--store", default=None,
+        help="tenant-ledger path: *.sqlite/*.db for SQLite, any other "
+        "suffix for the JSON file store; omit for in-memory (no durability)",
+    )
+    p_serve.add_argument(
+        "--reservation-ttl", type=float, default=3600.0,
+        help="seconds before an abandoned reservation stops counting "
+        "against admission",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(func=_cmd_info)

@@ -49,10 +49,11 @@ on randomized schedules).
 
 from __future__ import annotations
 
+import copy
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -93,11 +94,106 @@ def pure_rdp_curve(epsilon: float, orders: np.ndarray) -> np.ndarray:
 
 @dataclass(frozen=True)
 class CompositionRecord:
-    """One recorded release."""
+    """One recorded release.
+
+    ``rdp_orders`` / ``rdp_values`` carry the release's *own* Rényi cost
+    curve (the mechanism-supplied ``rdp_curve`` evaluated on the recording
+    accountant's order grid) whenever one was charged; ``None`` for pure
+    releases, whose curve is reproducible from ``epsilon`` alone.  They make
+    the audit trail a *complete* ledger: a
+    :class:`RenyiAccountant` rebuilt from its trail (restart-from-trail,
+    pickling ``records`` separately, a durable store replaying history)
+    recovers bit-identical running totals instead of falling back to the
+    conservative pure-release envelope — the PR 6 restart bug.
+    """
 
     epsilon: float
     mechanism: str
     quilt_signature: Hashable
+    rdp_orders: tuple[float, ...] | None = None
+    rdp_values: tuple[float, ...] | None = None
+
+
+def encode_signature(signature: Hashable) -> Any:
+    """A quilt signature as a JSON-safe value (tuples tagged, scalars raw).
+
+    Signatures in this library are nested tuples of strings/numbers (node
+    names and quilt members); anything else is refused loudly — a durable
+    ledger must never silently store a signature it cannot faithfully
+    rehydrate, because the Theorem 4.4 same-quilt check compares them for
+    equality across restarts.
+    """
+    if isinstance(signature, tuple):
+        return {"tuple": [encode_signature(item) for item in signature]}
+    if signature is None or isinstance(signature, (bool, int, float, str)):
+        return signature
+    raise PrivacyParameterError(
+        f"quilt signature component {signature!r} is not JSON-serializable; "
+        f"durable ledgers require signatures built from tuples and scalars"
+    )
+
+
+def decode_signature(encoded: Any) -> Hashable:
+    """Inverse of :func:`encode_signature`."""
+    if isinstance(encoded, dict):
+        return tuple(decode_signature(item) for item in encoded["tuple"])
+    return encoded
+
+
+def _encode_trail(records: Sequence[CompositionRecord]) -> list[dict]:
+    """The audit trail as JSON-safe run-length groups.
+
+    Consecutive references to the *same* record object (how ``record_many``
+    appends batches) collapse into one group, so the encoding preserves the
+    exact grouping the running totals were accumulated with — decoding and
+    replaying reproduces them bit for bit.
+    """
+    groups: list[dict] = []
+    index = 0
+    while index < len(records):
+        record = records[index]
+        count = 1
+        while index + count < len(records) and records[index + count] is record:
+            count += 1
+        groups.append(
+            {
+                "n": count,
+                "epsilon": record.epsilon,
+                "mechanism": record.mechanism,
+                "quilt_signature": encode_signature(record.quilt_signature),
+                "rdp_orders": (
+                    None if record.rdp_orders is None else list(record.rdp_orders)
+                ),
+                "rdp_values": (
+                    None if record.rdp_values is None else list(record.rdp_values)
+                ),
+            }
+        )
+        index += count
+    return groups
+
+
+def _decode_trail(groups: Sequence[Mapping]) -> list[CompositionRecord]:
+    """Inverse of :func:`_encode_trail` (group identity preserved)."""
+    records: list[CompositionRecord] = []
+    for group in groups:
+        record = CompositionRecord(
+            float(group["epsilon"]),
+            str(group["mechanism"]),
+            decode_signature(group["quilt_signature"]),
+            rdp_orders=(
+                None
+                if group.get("rdp_orders") is None
+                else tuple(float(a) for a in group["rdp_orders"])
+            ),
+            rdp_values=(
+                None
+                if group.get("rdp_values") is None
+                else tuple(float(v) for v in group["rdp_values"])
+            ),
+        )
+        records.extend([record] * int(group["n"]))
+    return records
 
 
 class BaseAccountant:
@@ -154,6 +250,19 @@ class BaseAccountant:
     def _apply_locked(self, token: Any) -> None:
         """Commit a token produced by :meth:`_stage_locked` (mutex held)."""
         raise NotImplementedError
+
+    def _trail_curve_locked(
+        self, epsilon: float, rdp_curve: RdpCurve | None, token: Any
+    ) -> tuple[tuple[float, ...], tuple[float, ...]] | None:
+        """The ``(orders, values)`` to persist in this release's trail
+        record, or ``None`` when ``epsilon`` alone reproduces the cost
+        (mutex held; ``token`` is the staged commit token, so accountants
+        that already evaluated the curve need not evaluate it twice).
+
+        The base returns ``None`` — linear accounting never charges curves,
+        so its trail carries nothing to lose.
+        """
+        return None
 
     # -- the one check-then-record cycle --------------------------------
     def record(
@@ -222,8 +331,19 @@ class BaseAccountant:
                     n_completed=0,
                     accountant=type(self).__name__,
                 )
+            trail_curve = (
+                self._trail_curve_locked(float(epsilon), rdp_curve, token)
+                if self.audit_trail
+                else None
+            )
             self._apply_locked(token)
-            record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+            record = CompositionRecord(
+                float(epsilon),
+                mechanism,
+                quilt_signature,
+                rdp_orders=None if trail_curve is None else trail_curve[0],
+                rdp_values=None if trail_curve is None else trail_curve[1],
+            )
             if self.audit_trail:
                 self.records.extend([record] * n_releases)
             self._count += n_releases
@@ -257,6 +377,122 @@ class BaseAccountant:
     def __len__(self) -> int:
         with self._mutex:
             return self._count
+
+    # -- prospective totals (reservation admission) ----------------------
+    def preview(self, charges: Sequence[tuple[int, float]]) -> float:
+        """The composed total if all ``(n_releases, epsilon)`` charges were
+        admitted on top of the current ledger — nothing is recorded.
+
+        Charges are priced at the conservative pure-release cost (the only
+        sound choice before the releases exist: a mechanism-supplied curve
+        is not known until release time, and the ``alpha = inf`` pin makes
+        the pure cost an upper envelope of the linear total either way).
+        This is the admission arithmetic of reservation-style budgeting:
+        the service ledger previews every outstanding reservation's
+        unconsumed remainder plus the new request, and refuses the
+        reservation — not the eventual release — when the total would
+        overshoot (see :mod:`repro.service.ledger`).
+        """
+        with self._mutex:
+            clone = copy.deepcopy(self)
+        total = clone._spent_locked()
+        for n_releases, epsilon in charges:
+            if n_releases < 0:
+                raise PrivacyParameterError(
+                    f"n_releases must be >= 0, got {n_releases}"
+                )
+            if n_releases == 0:
+                continue
+            if epsilon <= 0:
+                raise PrivacyParameterError(
+                    f"epsilon must be positive, got {epsilon}"
+                )
+            total, token = clone._stage_locked(int(n_releases), float(epsilon), None)
+            clone._apply_locked(token)
+            # The count advance normally happens in record_many, after the
+            # hooks; the clone must mirror it or staged linear totals stall.
+            clone._count += int(n_releases)
+        return total
+
+    # -- durable serialization -------------------------------------------
+    #: Discriminator stored in :meth:`state_dict`; subclass responsibility.
+    _STATE_KIND: str = ""
+
+    def _state_extra_locked(self) -> dict:
+        """Subclass aggregates for :meth:`state_dict` (mutex held)."""
+        raise NotImplementedError
+
+    def _restore_extra(self, state: Mapping) -> None:
+        """Inverse of :meth:`_state_extra_locked` (mutex held)."""
+        raise NotImplementedError
+
+    def state_dict(self, *, include_trail: bool = True) -> dict:
+        """The complete ledger as a JSON-safe dict.
+
+        Everything the budget enforcement depends on rides along — count,
+        the linear worst-epsilon or the full Rényi running curve, the quilt
+        signatures, and (unless ``include_trail=False``) the audit trail
+        with per-release RDP curves.  :func:`accountant_from_state` inverts
+        it **bit-identically**: the aggregates are restored verbatim rather
+        than replayed, so float-summation order cannot drift and
+        ``eps(delta)`` round-trips exactly — the property the durable
+        tenant ledgers are built on.
+        """
+        with self._mutex:
+            state: dict[str, Any] = {
+                "kind": self._STATE_KIND,
+                "budget": None if self.budget is None else float(self.budget),
+                "audit_trail": bool(self.audit_trail),
+                "count": int(self._count),
+                "signatures": sorted(
+                    (encode_signature(s) for s in self._signatures),
+                    key=repr,
+                ),
+            }
+            state.update(self._state_extra_locked())
+            if include_trail and self.records:
+                state["trail"] = _encode_trail(self.records)
+            return state
+
+    def _restore_state(self, state: Mapping) -> None:
+        with self._mutex:
+            self.records = _decode_trail(state.get("trail") or [])
+            self._count = int(state["count"])
+            self._signatures = {
+                decode_signature(s) for s in state["signatures"]
+            }
+            self._restore_extra(state)
+
+
+def accountant_from_state(state: Mapping) -> BaseAccountant:
+    """Rehydrate an accountant from :meth:`BaseAccountant.state_dict`.
+
+    The restored ledger enforces identically to the one that was dumped:
+    same budget decisions on the same future schedule, bit-identical
+    ``eps(delta)`` for Rényi ledgers (running curves restored verbatim,
+    never re-derived through the envelope).
+    """
+    kind = state.get("kind")
+    if kind == "linear":
+        from repro.core.composition import CompositionAccountant
+
+        accountant: BaseAccountant = CompositionAccountant(
+            budget=state["budget"], audit_trail=bool(state["audit_trail"])
+        )
+    elif kind == "renyi":
+        accountant = RenyiAccountant(
+            budget=state["budget"],
+            delta=float(state["delta"]),
+            orders=tuple(float(a) for a in state["orders"]),
+            audit_trail=bool(state["audit_trail"]),
+        )
+    else:
+        raise PrivacyParameterError(
+            f"unknown accountant state kind {kind!r} (expected 'linear' or "
+            f"'renyi')"
+        )
+    accountant._restore_state(state)
+    return accountant
 
 
 @dataclass
@@ -301,6 +537,8 @@ class RenyiAccountant(BaseAccountant):
     records: list[CompositionRecord] = field(default_factory=list)
     audit_trail: bool = True
 
+    _STATE_KIND = "renyi"
+
     def __post_init__(self) -> None:
         if not 0.0 < self.delta < 1.0:
             raise PrivacyParameterError(
@@ -322,11 +560,40 @@ class RenyiAccountant(BaseAccountant):
         self._rdp = np.zeros_like(self._order_array)
         self._init_runtime()
         if self.records:
-            # Rebuild the curve from the audit trail (pure-curve costs; a
-            # trail cannot carry mechanism-supplied curves, so this path is
-            # only exact for pure releases — documented in the ADR).
-            for record in self.records:
-                self._rdp += pure_rdp_curve(record.epsilon, self._order_array)
+            # Rebuild the running curve from the audit trail, **exactly**:
+            # records carry the mechanism-supplied curve they were charged
+            # (``rdp_values`` on this accountant's grid), so Gaussian
+            # releases replay at their true cost, not the conservative
+            # pure-epsilon envelope (the PR 6 restart bug).  Consecutive
+            # references to one record object — how ``record_many`` appends
+            # batches — are re-grouped so the ``_rdp + n * costs``
+            # accumulation repeats the original float-summation order bit
+            # for bit (object identity survives pickling: the pickle memo
+            # restores repeated references as one object).
+            index = 0
+            while index < len(self.records):
+                record = self.records[index]
+                count = 1
+                while (
+                    index + count < len(self.records)
+                    and self.records[index + count] is record
+                ):
+                    count += 1
+                self._rdp = self._rdp + count * self._record_costs(record)
+                index += count
+
+    def _record_costs(self, record: CompositionRecord) -> np.ndarray:
+        """One trail record's per-order cost curve, exactly as charged."""
+        if record.rdp_values is None:
+            return pure_rdp_curve(record.epsilon, self._order_array)
+        if tuple(record.rdp_orders or ()) != self.orders:
+            raise PrivacyParameterError(
+                f"audit-trail record carries an RDP curve on order grid "
+                f"{record.rdp_orders}, but this accountant uses "
+                f"{self.orders}; rebuild with the recording accountant's "
+                f"grid — re-gridding a curve is not sound"
+            )
+        return np.asarray(record.rdp_values, dtype=float)
 
     # -- arithmetic hooks -------------------------------------------------
     def _costs(self, epsilon: float, rdp_curve: RdpCurve | None) -> np.ndarray:
@@ -359,12 +626,40 @@ class RenyiAccountant(BaseAccountant):
     def _stage_locked(
         self, n_releases: int, epsilon: float, rdp_curve: RdpCurve | None
     ) -> tuple[float, Any]:
-        prospective = self._rdp + n_releases * self._costs(epsilon, rdp_curve)
+        costs = self._costs(epsilon, rdp_curve)
+        prospective = self._rdp + n_releases * costs
         total = float(np.min(prospective + self._overhead))
-        return total, prospective
+        return total, (prospective, costs)
 
-    def _apply_locked(self, token: np.ndarray) -> None:
-        self._rdp = token
+    def _apply_locked(self, token: tuple[np.ndarray, np.ndarray]) -> None:
+        self._rdp = token[0]
+
+    def _trail_curve_locked(
+        self, epsilon: float, rdp_curve: RdpCurve | None, token: Any
+    ) -> tuple[tuple[float, ...], tuple[float, ...]] | None:
+        # Pure releases reproduce from epsilon alone; mechanism-supplied
+        # curves are persisted on this accountant's grid (already evaluated
+        # during staging — the token carries them) so restart-from-trail
+        # replays them exactly instead of the conservative envelope.
+        if rdp_curve is None:
+            return None
+        return self.orders, tuple(float(c) for c in token[1])
+
+    def _state_extra_locked(self) -> dict:
+        return {
+            "delta": float(self.delta),
+            "orders": [float(a) for a in self.orders],
+            "rdp": [float(c) for c in self._rdp],
+        }
+
+    def _restore_extra(self, state: Mapping) -> None:
+        restored = np.asarray(state["rdp"], dtype=float)
+        if restored.shape != self._order_array.shape:
+            raise PrivacyParameterError(
+                f"restored rdp totals have shape {restored.shape}, expected "
+                f"{self._order_array.shape}"
+            )
+        self._rdp = restored
 
     # -- Rényi introspection ----------------------------------------------
     def rdp_totals(self) -> dict[float, float]:

@@ -20,7 +20,7 @@ contract with strong-composition arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.core.accounting import (
     BaseAccountant,
@@ -70,6 +70,8 @@ class CompositionAccountant(BaseAccountant):
     records: list[CompositionRecord] = field(default_factory=list)
     audit_trail: bool = True
 
+    _STATE_KIND = "linear"
+
     def __post_init__(self) -> None:
         self._worst = max((r.epsilon for r in self.records), default=0.0)
         self._init_runtime()
@@ -88,6 +90,13 @@ class CompositionAccountant(BaseAccountant):
 
     def _apply_locked(self, token: float) -> None:
         self._worst = token
+
+    # -- durable serialization (see BaseAccountant.state_dict) -----------
+    def _state_extra_locked(self) -> dict:
+        return {"worst": float(self._worst)}
+
+    def _restore_extra(self, state: Mapping) -> None:
+        self._worst = float(state["worst"])
 
 
 def compose_epsilons(epsilons: list[float]) -> float:

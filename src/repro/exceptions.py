@@ -10,7 +10,28 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Every subclass is *HTTP-mappable*: :attr:`http_status` is the response
+    status a service front-end should answer with when the error escapes a
+    handler, and :meth:`payload` is the JSON-safe response body.  The
+    service layer (:mod:`repro.service`) relies on this so refusals carry
+    machine-readable structure end to end instead of being flattened into
+    strings at the HTTP boundary.
+    """
+
+    #: HTTP status the service layer maps this error to.  ``500`` for the
+    #: base class (an unmapped library error is a server bug); subclasses
+    #: override with the semantically right 4xx.
+    http_status: int = 500
+
+    def payload(self) -> dict:
+        """JSON-safe response body: the error class name and message.
+
+        Subclasses extend this with their structured fields (see
+        :meth:`BudgetExhaustedError.payload`).
+        """
+        return {"error": type(self).__name__, "message": str(self)}
 
 
 class ValidationError(ReproError, ValueError):
@@ -20,6 +41,8 @@ class ValidationError(ReproError, ValueError):
     arguments as value errors keep working.
     """
 
+    http_status = 400
+
 
 class PrivacyParameterError(ReproError, ValueError):
     """Raised when a privacy parameter (epsilon, delta) is invalid.
@@ -27,6 +50,8 @@ class PrivacyParameterError(ReproError, ValueError):
     Examples include ``epsilon <= 0`` or a composition budget that has been
     exhausted.
     """
+
+    http_status = 400
 
 
 class BudgetExhaustedError(PrivacyParameterError):
@@ -70,6 +95,10 @@ class BudgetExhaustedError(PrivacyParameterError):
     (e.g. an exception reconstructed from its message alone).
     """
 
+    #: "Too many requests" — the client exceeded its budget, not a server
+    #: fault; retrying cannot succeed until the tenant's budget grows.
+    http_status = 429
+
     def __init__(
         self,
         message: str,
@@ -100,6 +129,10 @@ class BudgetExhaustedError(PrivacyParameterError):
             "accountant": self.accountant,
         }
 
+    def payload(self) -> dict:
+        """The HTTP body: base fields plus the full refusal ledger."""
+        return {**super().payload(), "ledger": self.ledger()}
+
 
 class NotApplicableError(ReproError, RuntimeError):
     """Raised when a mechanism does not apply to the given instantiation.
@@ -108,6 +141,8 @@ class NotApplicableError(ReproError, RuntimeError):
     is >= 1 (reported as "N/A" in the paper's tables), or MQMApprox when the
     distribution class contains a non-mixing (reducible or periodic) chain.
     """
+
+    http_status = 422
 
 
 class EnumerationError(ReproError, RuntimeError):
@@ -118,3 +153,55 @@ class EnumerationError(ReproError, RuntimeError):
     enumerate joint distributions; this error protects against accidentally
     requesting an exponential computation on a large model.
     """
+
+    http_status = 422
+
+
+class ReservationError(ReproError, ValueError):
+    """Raised when a reservation operation is inconsistent with its state.
+
+    Examples: consuming more releases than the reservation holds, consuming
+    at an epsilon other than the one reserved, or double-releasing.  This is
+    a caller protocol error (HTTP 409 Conflict), distinct from
+    :class:`BudgetExhaustedError` — the *tenant budget* may be fine; the
+    *session's carved-out sub-budget* was used incorrectly.
+    """
+
+    http_status = 409
+
+
+class UnknownTenantError(ReproError, KeyError):
+    """Raised when a tenant has no ledger in the store (HTTP 404).
+
+    Tenants must be created explicitly (``POST /tenants/{tenant}``) so a
+    typo in a tenant name can never silently mint a fresh unlimited ledger.
+    """
+
+    http_status = 404
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return self.args[0] if self.args else ""
+
+
+class UnknownReservationError(ReproError, KeyError):
+    """Raised when a reservation id is not outstanding for the tenant —
+    never issued, already released, or expired past the ledger's stale
+    reservation TTL (HTTP 410 Gone: retrying with the same id cannot
+    succeed; open a new session)."""
+
+    http_status = 410
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class UnknownSessionError(ReproError, KeyError):
+    """Raised when a streaming session id is not live on this service
+    process (HTTP 404) — never opened, closed, or lost to a restart (the
+    budget its reservation carved out is reclaimed by the reservation
+    TTL)."""
+
+    http_status = 404
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""

@@ -1,0 +1,54 @@
+"""Multi-tenant privacy service: durable ledgers, reservation admission,
+and an ASGI front-end over the serving engine.
+
+Layering (each level usable on its own):
+
+* :mod:`repro.service.stores` — :class:`LedgerStore` and its in-memory,
+  JSON-file, and SQLite backends: exclusive per-tenant read-modify-write
+  transactions, atomic across threads and processes.
+* :mod:`repro.service.ledger` — :class:`TenantLedger` (durable accountant
+  state + reserve/consume/release-unused admission) and
+  :class:`ReservationAccountant` (plugs a reservation into a stock
+  :class:`~repro.serving.engine.PrivacyEngine`).
+* :mod:`repro.service.app` — :class:`PrivacyService` handlers and the
+  dependency-free :class:`AsgiApp` exposing calibrate/release/stream over
+  HTTP; :mod:`repro.service.server` serves it on stdlib asyncio,
+  :mod:`repro.service.testing` drives it in-process for tests.
+
+See the service ADR in ``docs/architecture.md`` and the endpoint reference
+in ``docs/api.md``.
+"""
+
+from repro.service.app import (
+    AsgiApp,
+    PrivacyService,
+    Workload,
+    create_app,
+    default_workloads,
+)
+from repro.service.ledger import Reservation, ReservationAccountant, TenantLedger
+from repro.service.stores import (
+    InMemoryLedgerStore,
+    JSONFileLedgerStore,
+    LedgerStore,
+    LedgerTransaction,
+    SQLiteLedgerStore,
+    ledger_store_from_path,
+)
+
+__all__ = [
+    "AsgiApp",
+    "InMemoryLedgerStore",
+    "JSONFileLedgerStore",
+    "LedgerStore",
+    "LedgerTransaction",
+    "PrivacyService",
+    "Reservation",
+    "ReservationAccountant",
+    "SQLiteLedgerStore",
+    "TenantLedger",
+    "Workload",
+    "create_app",
+    "default_workloads",
+    "ledger_store_from_path",
+]

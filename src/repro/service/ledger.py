@@ -1,0 +1,503 @@
+"""Per-tenant budget ledgers with reservation-style admission control.
+
+The multi-tenant service must survive two things the in-process
+:class:`~repro.serving.engine.PrivacyEngine` accountant cannot: process
+restarts (budgets must be durable) and thundering herds (N concurrent
+sessions, possibly in N processes, must never jointly over-commit one
+tenant's epsilon).  :class:`TenantLedger` provides both on top of a
+:class:`~repro.service.stores.LedgerStore`:
+
+* **Durability.**  The tenant's accountant state — linear aggregates or
+  the full Rényi running curve (:meth:`~repro.core.accounting.
+  BaseAccountant.state_dict`) — is the stored source of truth.  Every
+  mutation rehydrates it (:func:`~repro.core.accounting.
+  accountant_from_state`, bit-identical), applies the release arithmetic,
+  and persists the result, all inside one exclusive store transaction.  A
+  restarted service picks up exactly — not conservatively — where the
+  previous one stopped.
+* **Reservation admission** (reserve → consume → release-unused).  A
+  session carves its epsilon sub-budget out of the tenant ledger *up
+  front*: :meth:`TenantLedger.reserve` admits ``n`` prospective releases
+  only if the accountant's :meth:`~repro.core.accounting.BaseAccountant.
+  preview` of *all outstanding reservations plus this one* fits the
+  budget.  Concurrent sessions therefore contend at admission time — one
+  store transaction each — and whichever reservations are granted can
+  consume their releases without ever re-racing the budget.  Unused
+  remainder is returned by :meth:`TenantLedger.release_unused` (or
+  reclaimed by the stale-reservation TTL when a session dies without
+  closing).
+* **Exactly-once debit.**  :meth:`TenantLedger.consume` decrements one
+  identified reservation and records the release(s) in the accountant in
+  the same transaction; a refused consume (reservation drained, epsilon
+  mismatch, budget refusal on a mechanism-supplied curve) changes nothing.
+
+:class:`ReservationAccountant` adapts one reservation to the
+:class:`~repro.core.accounting.BaseAccountant` contract so a stock
+:class:`~repro.serving.engine.PrivacyEngine` (and its streaming sessions)
+debits the durable ledger per release with no engine changes — budget
+refusals surface as the same structured
+:class:`~repro.exceptions.BudgetExhaustedError` the in-memory accountants
+raise.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from repro.core.accounting import (
+    BaseAccountant,
+    CompositionRecord,
+    RdpCurve,
+    RenyiAccountant,
+    accountant_from_state,
+)
+from repro.core.composition import CompositionAccountant
+from repro.exceptions import (
+    BudgetExhaustedError,
+    PrivacyParameterError,
+    ReservationError,
+    UnknownReservationError,
+    UnknownTenantError,
+    ValidationError,
+)
+from repro.service.stores import LedgerStore
+
+#: Stored-state schema version; bumped on incompatible layout changes.
+STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A granted epsilon sub-budget: ``n_reserved`` releases at ``epsilon``.
+
+    ``epsilon_total`` is the sub-budget's linear envelope — what admission
+    charged the tenant ledger for it.  The id is the consume/release
+    handle; treat it like a capability (whoever holds it can spend the
+    reservation).
+    """
+
+    tenant: str
+    reservation_id: str
+    epsilon: float
+    n_reserved: int
+    n_consumed: int
+
+    @property
+    def n_remaining(self) -> int:
+        return self.n_reserved - self.n_consumed
+
+    @property
+    def epsilon_total(self) -> float:
+        return self.n_reserved * self.epsilon
+
+
+class TenantLedger:
+    """One tenant's durable budget ledger over a shared store.
+
+    Instances are cheap, stateless handles — every operation is one store
+    transaction; nothing is cached between calls, so any number of handles
+    (across threads and processes) observe one serialized ledger history.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.service.stores.LedgerStore`.
+    tenant:
+        Tenant name (any non-empty string without ``/``).
+    reservation_ttl:
+        Seconds after which an unconsumed reservation is presumed abandoned
+        (its session crashed without :meth:`release_unused`) and its
+        remainder stops counting against admission.  ``None`` disables
+        expiry.  The TTL must comfortably exceed the longest legitimate
+        session; it exists so a crashed client cannot strand tenant budget
+        forever.
+    """
+
+    def __init__(
+        self,
+        store: LedgerStore,
+        tenant: str,
+        *,
+        reservation_ttl: "float | None" = 3600.0,
+    ) -> None:
+        if not tenant or "/" in tenant:
+            raise ValidationError(
+                f"tenant must be a non-empty string without '/', got {tenant!r}"
+            )
+        if reservation_ttl is not None and reservation_ttl <= 0:
+            raise ValidationError(
+                f"reservation_ttl must be positive or None, got {reservation_ttl}"
+            )
+        self.store = store
+        self.tenant = tenant
+        self.reservation_ttl = reservation_ttl
+
+    # -- tenant lifecycle -------------------------------------------------
+    def create(
+        self,
+        *,
+        budget: "float | None",
+        accountant: str = "linear",
+        delta: float = 1e-6,
+        audit_trail: bool = True,
+        exist_ok: bool = True,
+    ) -> dict:
+        """Create the tenant's ledger (idempotent when ``exist_ok``).
+
+        An existing ledger is returned untouched — budgets are never
+        silently rewritten; raising on mismatch is the caller's business
+        (the service treats re-creation as a read).
+        """
+        if accountant == "linear":
+            fresh: BaseAccountant = CompositionAccountant(
+                budget=budget, audit_trail=audit_trail
+            )
+        elif accountant == "renyi":
+            fresh = RenyiAccountant(
+                budget=budget, delta=delta, audit_trail=audit_trail
+            )
+        else:
+            raise ValidationError(
+                f"accountant must be 'linear' or 'renyi', got {accountant!r}"
+            )
+        with self.store.transact(self.tenant) as txn:
+            if txn.state is not None:
+                if not exist_ok:
+                    raise ValidationError(
+                        f"tenant {self.tenant!r} already has a ledger"
+                    )
+                return self._snapshot_from_state(txn.state)
+            txn.state = {
+                "version": STATE_VERSION,
+                "accountant": fresh.state_dict(),
+                "reservations": {},
+            }
+            return self._snapshot_from_state(txn.state)
+
+    def exists(self) -> bool:
+        return self.store.peek(self.tenant) is not None
+
+    # -- admission: reserve -> consume -> release-unused -------------------
+    def reserve(self, n_releases: int, epsilon: float) -> Reservation:
+        """Carve ``n_releases * epsilon`` out of the tenant budget up front.
+
+        Admission prices every *outstanding* (unexpired, unconsumed)
+        reservation plus this request through the accountant's
+        conservative :meth:`~repro.core.accounting.BaseAccountant.preview`
+        and refuses with a structured
+        :class:`~repro.exceptions.BudgetExhaustedError` when the total
+        would overshoot — so the sum of granted sub-budgets can never
+        exceed the tenant budget, no matter how many sessions race, from
+        how many processes.
+        """
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        if epsilon <= 0:
+            raise PrivacyParameterError(
+                f"epsilon must be positive, got {epsilon}"
+            )
+        with self.store.transact(self.tenant) as txn:
+            state = self._require(txn.state)
+            self._expire_locked(state)
+            accountant = accountant_from_state(state["accountant"])
+            outstanding = [
+                (r["n_reserved"] - r["n_consumed"], r["epsilon"])
+                for r in state["reservations"].values()
+            ]
+            charges = outstanding + [(int(n_releases), float(epsilon))]
+            prospective = accountant.preview(charges)
+            budget = accountant.budget
+            if budget is not None and prospective > budget + _ATOL:
+                spent = accountant.total_epsilon()
+                reserved = sum(n * eps for n, eps in outstanding)
+                raise BudgetExhaustedError(
+                    f"reserving {n_releases} release(s) at epsilon={epsilon:g} "
+                    f"would bring tenant {self.tenant!r} to a prospective "
+                    f"guarantee of {prospective:.4g} (spent {spent:.4g}, "
+                    f"outstanding reservations {reserved:.4g}), exceeding the "
+                    f"budget of {budget:.4g}",
+                    budget=budget,
+                    spent=spent,
+                    remaining=max(0.0, budget - spent),
+                    requested=int(n_releases),
+                    n_completed=0,
+                    accountant=type(accountant).__name__,
+                )
+            reservation_id = uuid.uuid4().hex
+            state["reservations"][reservation_id] = {
+                "epsilon": float(epsilon),
+                "n_reserved": int(n_releases),
+                "n_consumed": 0,
+                "created_at": time.time(),
+            }
+            return Reservation(
+                self.tenant, reservation_id, float(epsilon), int(n_releases), 0
+            )
+
+    def consume(
+        self,
+        reservation_id: str,
+        n_releases: int = 1,
+        *,
+        epsilon: float,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+        rdp_curve: "RdpCurve | None" = None,
+    ) -> Reservation:
+        """Debit ``n_releases`` served releases against one reservation.
+
+        Atomic and exactly-once: the reservation decrement and the
+        accountant record land in the same store transaction — a refusal
+        (drained reservation, epsilon mismatch, or the accountant vetoing a
+        mechanism-supplied curve that outgrew the reserved envelope)
+        persists nothing.  Returns the reservation's post-consume state.
+        """
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        with self.store.transact(self.tenant) as txn:
+            state = self._require(txn.state)
+            entry = state["reservations"].get(reservation_id)
+            if entry is None:
+                raise UnknownReservationError(
+                    f"tenant {self.tenant!r} has no outstanding reservation "
+                    f"{reservation_id!r} (already released, or expired past "
+                    f"the {self.reservation_ttl}s TTL)"
+                )
+            if float(epsilon) != entry["epsilon"]:
+                raise ReservationError(
+                    f"reservation {reservation_id!r} holds epsilon="
+                    f"{entry['epsilon']:g} per release, cannot consume at "
+                    f"epsilon={epsilon:g}"
+                )
+            remaining = entry["n_reserved"] - entry["n_consumed"]
+            if n_releases > remaining:
+                raise ReservationError(
+                    f"reservation {reservation_id!r} has {remaining} "
+                    f"release(s) left, cannot consume {n_releases}; reserve "
+                    f"a larger sub-budget or open a new session"
+                )
+            accountant = accountant_from_state(state["accountant"])
+            accountant.record_many(
+                int(n_releases),
+                float(epsilon),
+                mechanism=mechanism,
+                quilt_signature=quilt_signature,
+                rdp_curve=rdp_curve,
+            )
+            entry["n_consumed"] += int(n_releases)
+            state["accountant"] = accountant.state_dict()
+            return Reservation(
+                self.tenant,
+                reservation_id,
+                entry["epsilon"],
+                entry["n_reserved"],
+                entry["n_consumed"],
+            )
+
+    def release_unused(self, reservation_id: str) -> int:
+        """Return a reservation's unconsumed remainder to the tenant budget.
+
+        Idempotent-by-absence: an unknown (already released or expired) id
+        returns 0 instead of raising, so session close paths can always
+        call it unconditionally.
+        """
+        with self.store.transact(self.tenant) as txn:
+            state = self._require(txn.state)
+            entry = state["reservations"].pop(reservation_id, None)
+            if entry is None:
+                return 0
+            return int(entry["n_reserved"] - entry["n_consumed"])
+
+    # -- reads -------------------------------------------------------------
+    def accountant(self) -> BaseAccountant:
+        """A rehydrated **snapshot** of the tenant's accountant.
+
+        Bit-identical to the stored ledger at read time (including Rényi
+        curves); mutating it affects nothing durable.
+        """
+        state = self._require(self.store.peek(self.tenant))
+        return accountant_from_state(state["accountant"])
+
+    def snapshot(self) -> dict:
+        """JSON-safe operational view: spent, remaining, reservations."""
+        return self._snapshot_from_state(
+            self._require(self.store.peek(self.tenant))
+        )
+
+    def _snapshot_from_state(self, state: Mapping) -> dict:
+        accountant = accountant_from_state(state["accountant"])
+        reservations = state.get("reservations", {})
+        outstanding = sum(
+            r["n_reserved"] - r["n_consumed"] for r in reservations.values()
+        )
+        reserved_epsilon = sum(
+            (r["n_reserved"] - r["n_consumed"]) * r["epsilon"]
+            for r in reservations.values()
+        )
+        snapshot: dict[str, Any] = {
+            "tenant": self.tenant,
+            "accountant": type(accountant).__name__,
+            "budget": accountant.budget,
+            "spent_epsilon": accountant.total_epsilon(),
+            "remaining_budget": accountant.remaining(),
+            "n_releases": len(accountant),
+            "n_reservations": len(reservations),
+            "reserved_releases": outstanding,
+            "reserved_epsilon": reserved_epsilon,
+        }
+        if isinstance(accountant, RenyiAccountant):
+            snapshot["delta"] = accountant.delta
+            snapshot["optimal_order"] = accountant.optimal_order()
+        return snapshot
+
+    # -- internals ---------------------------------------------------------
+    def _require(self, state: "Mapping | None") -> Any:
+        if state is None:
+            raise UnknownTenantError(
+                f"tenant {self.tenant!r} has no ledger; create it first "
+                f"(POST /tenants/{self.tenant} on the service)"
+            )
+        return state
+
+    def _expire_locked(self, state: Mapping) -> None:
+        """Drop reservations older than the TTL (inside a transaction).
+
+        Only *admission* prunes: an expired id that later tries to consume
+        fails loudly with :class:`~repro.exceptions.
+        UnknownReservationError` rather than silently re-admitting.
+        """
+        if self.reservation_ttl is None:
+            return
+        now = time.time()
+        reservations = state["reservations"]
+        for rid in [
+            rid
+            for rid, r in reservations.items()
+            if now - r["created_at"] > self.reservation_ttl
+        ]:
+            del reservations[rid]
+
+
+_ATOL = 1e-12  # same float-sum slack as the in-memory accountants
+
+
+class ReservationAccountant(BaseAccountant):
+    """A :class:`~repro.core.accounting.BaseAccountant` over one reservation.
+
+    Plug one into a stock :class:`~repro.serving.engine.PrivacyEngine`
+    (``engine.with_accountant(...)``) and every release — single, batched,
+    or streamed — debits the durable tenant ledger exactly once through
+    :meth:`TenantLedger.consume`, inside the store's cross-process
+    transaction.  The local ``budget`` is the reservation's envelope
+    (``n_reserved * epsilon``), so a session that outruns its sub-budget
+    gets the standard structured
+    :class:`~repro.exceptions.BudgetExhaustedError` (with the session's
+    ledger in the payload) without ever touching the store; the tenant-wide
+    budget was already accounted at admission time.
+
+    The base class's check-then-record plumbing is overridden rather than
+    hooked: the *commit* here is a store transaction (which can itself
+    refuse), not a pure in-memory apply.
+    """
+
+    def __init__(self, ledger: TenantLedger, reservation: Reservation) -> None:
+        self._ledger = ledger
+        self._reservation = reservation
+        self.budget = reservation.epsilon_total
+        self.records: list = []
+        self.audit_trail = False  # the durable ledger is the audit trail
+        self._consumed = reservation.n_consumed
+        self._init_runtime()
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def tenant(self) -> str:
+        return self._ledger.tenant
+
+    @property
+    def reservation_id(self) -> str:
+        return self._reservation.reservation_id
+
+    @property
+    def epsilon(self) -> float:
+        return self._reservation.epsilon
+
+    @property
+    def n_reserved(self) -> int:
+        return self._reservation.n_reserved
+
+    @property
+    def n_remaining(self) -> int:
+        with self._mutex:
+            return self._reservation.n_reserved - self._consumed
+
+    # -- the reservation-backed check-then-record cycle --------------------
+    def _spent_locked(self) -> float:
+        return self._consumed * self._reservation.epsilon
+
+    def record_many(
+        self,
+        n_releases: int,
+        epsilon: float,
+        *,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+        rdp_curve: "RdpCurve | None" = None,
+    ) -> list:
+        if epsilon <= 0:
+            raise PrivacyParameterError(
+                f"epsilon must be positive, got {epsilon}"
+            )
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        if float(epsilon) != self._reservation.epsilon:
+            raise ReservationError(
+                f"this session reserved epsilon={self._reservation.epsilon:g} "
+                f"per release, cannot record epsilon={epsilon:g}"
+            )
+        with self._mutex:
+            if self._signatures and quilt_signature not in self._signatures:
+                raise PrivacyParameterError(
+                    "releases use different active Markov quilts; Theorem 4.4 "
+                    "does not apply and Pufferfish privacy may not compose"
+                )
+            remaining = self._reservation.n_reserved - self._consumed
+            if n_releases > remaining:
+                spent = self._spent_locked()
+                raise BudgetExhaustedError(
+                    f"{n_releases} release(s) would exceed this session's "
+                    f"reserved sub-budget of {self.budget:.4g} for tenant "
+                    f"{self.tenant!r} ({remaining} release(s) remaining); "
+                    f"reserve a larger sub-budget or open a new session",
+                    budget=self.budget,
+                    spent=spent,
+                    remaining=max(0.0, self.budget - spent),
+                    requested=int(n_releases),
+                    n_completed=0,
+                    accountant=type(self).__name__,
+                )
+            # The durable debit: one store transaction, exactly-once.  A
+            # refusal (e.g. the tenant accountant vetoing a curve) raises
+            # here and nothing — local or durable — has changed.
+            self._ledger.consume(
+                self._reservation.reservation_id,
+                int(n_releases),
+                epsilon=float(epsilon),
+                mechanism=mechanism,
+                quilt_signature=quilt_signature,
+                rdp_curve=rdp_curve,
+            )
+            record = CompositionRecord(float(epsilon), mechanism, quilt_signature)
+            self._consumed += int(n_releases)
+            self._count += int(n_releases)
+            self._signatures.add(quilt_signature)
+            return [record] * int(n_releases)

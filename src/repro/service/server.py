@@ -1,0 +1,172 @@
+"""A minimal stdlib asyncio HTTP/1.1 server for the service's ASGI app.
+
+The environment ships no ASGI server (no uvicorn/hypercorn), so this is
+the smallest correct bridge: parse one request per connection (request
+line, headers, ``Content-Length`` body), translate it to an ASGI ``http``
+scope, run the app, write the response, close.  ``Connection: close``
+semantics keep the parser trivial; the service's throughput profile is
+dominated by store transactions and noise draws, not connection reuse.
+
+Not exposed to hostile networks by default — bind to localhost and put a
+real reverse proxy in front for anything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service.app import AsgiApp
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def _handle_connection(
+    app: AsgiApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return
+        if len(head) > _MAX_HEADER_BYTES:
+            writer.write(_plain_response(431, b'{"error": "HeadersTooLarge"}'))
+            return
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            writer.write(_plain_response(400, b'{"error": "BadRequestLine"}'))
+            return
+        headers: list[tuple[bytes, bytes]] = []
+        content_length = 0
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers.append(
+                (name.strip().lower().encode("latin-1"), value.strip().encode("latin-1"))
+            )
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    writer.write(
+                        _plain_response(400, b'{"error": "BadContentLength"}')
+                    )
+                    return
+        if content_length > _MAX_BODY_BYTES:
+            writer.write(_plain_response(413, b'{"error": "BodyTooLarge"}'))
+            return
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+
+        path, _, query = target.partition("?")
+        peer = writer.get_extra_info("peername") or ("", 0)
+        scope: dict[str, Any] = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+            "client": (peer[0], peer[1]) if len(peer) >= 2 else None,
+            "server": writer.get_extra_info("sockname"),
+            "scheme": "http",
+        }
+
+        delivered = False
+
+        async def receive() -> dict:
+            nonlocal delivered
+            if delivered:
+                return {"type": "http.disconnect"}
+            delivered = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        response_started = False
+
+        async def send(message: dict) -> None:
+            nonlocal response_started
+            if message["type"] == "http.response.start":
+                response_started = True
+                status = message["status"]
+                reason = _REASONS.get(status, "Unknown")
+                writer.write(f"HTTP/1.1 {status} {reason}\r\n".encode())
+                for name, value in message.get("headers", []):
+                    writer.write(name + b": " + value + b"\r\n")
+                writer.write(b"connection: close\r\n\r\n")
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                await writer.drain()
+
+        try:
+            await app(scope, receive, send)
+        except Exception:  # noqa: BLE001 - last-resort 500, never a hang
+            if not response_started:
+                writer.write(_plain_response(500, b'{"error": "InternalError"}'))
+    finally:
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer vanished
+            pass
+
+
+def _plain_response(status: int, body: bytes) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode() + body
+
+
+async def serve_async(
+    app: AsgiApp, host: str = "127.0.0.1", port: int = 8787
+) -> "asyncio.AbstractServer":
+    """Start serving and return the listening server (caller owns the loop)."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+
+
+def serve(app: AsgiApp, host: str = "127.0.0.1", port: int = 8787) -> None:
+    """Serve forever on the current thread (the ``python -m repro serve``
+    entry point).  Ctrl-C shuts down cleanly."""
+
+    async def _run() -> None:
+        server = await serve_async(app, host, port)
+        addrs = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+            for sock in server.sockets
+        )
+        print(f"repro service listening on {addrs}", flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        app.service.close()

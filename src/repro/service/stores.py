@@ -1,0 +1,287 @@
+"""Durable tenant-ledger stores: one atomic check-then-record per tenant.
+
+A ledger store persists, per tenant, the full accounting state the service
+enforces budgets with (:meth:`~repro.core.accounting.BaseAccountant.
+state_dict` — including Rényi running curves — plus outstanding
+reservations).  Its one non-negotiable primitive is :meth:`LedgerStore.
+transact`: an **exclusive read-modify-write transaction** on one tenant's
+state, atomic across threads *and* processes.  Every budget decision the
+service makes happens inside one — which is exactly why a thundering herd
+of concurrent sessions can never jointly over-commit a tenant budget: two
+admissions cannot interleave between the read and the write.
+
+This is deliberately *not* the merge-on-write discipline of
+:class:`~repro.serving.cache.JSONFileCache`.  Cache entries are
+content-keyed and deterministic, so concurrent writers can be reconciled
+after the fact by merging; a budget ledger is a counter — merging two
+states that both spent the last epsilon would mint budget out of thin air.
+Ledger writers therefore hold the exclusion for the whole
+read-decide-write cycle, never just the write.
+
+Three backends:
+
+* :class:`InMemoryLedgerStore` — process-local; the default for tests and
+  single-process serving without durability.
+* :class:`JSONFileLedgerStore` — one JSON file, transactions serialized by
+  an :class:`~repro.utils.filelock.InterProcessLock` on a ``<path>.lock``
+  sidecar (flock where available, portable ``O_EXCL`` fallback elsewhere),
+  writes through an atomic temp-file replace.  Zero-dependency and
+  human-inspectable; every transaction rewrites the whole file, so it suits
+  tens of tenants, not thousands.
+* :class:`SQLiteLedgerStore` — a WAL-mode SQLite database, one row per
+  tenant, each transaction a ``BEGIN IMMEDIATE`` cycle so concurrent
+  writers queue on SQLite's own cross-process locking.  The natural
+  production default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ValidationError
+from repro.utils.filelock import InterProcessLock
+
+
+class LedgerTransaction:
+    """One tenant's state inside an open transaction.
+
+    ``state`` is the tenant's current persisted state (``None`` when the
+    tenant does not exist yet).  Handlers mutate it in place or assign a
+    new dict; on clean exit from :meth:`LedgerStore.transact` the final
+    value is persisted atomically.  Raising inside the ``with`` block
+    abandons every change — refusals (budget exhausted, reservation
+    conflicts) are exceptions, so a refused transaction leaves the ledger
+    bit-for-bit where it was.
+    """
+
+    def __init__(self, tenant: str, state: "dict[str, Any] | None") -> None:
+        self.tenant = tenant
+        self.state = state
+
+
+class LedgerStore(ABC):
+    """Durable per-tenant ledger state with exclusive transactions."""
+
+    @abstractmethod
+    def transact(self, tenant: str) -> "contextlib.AbstractContextManager[LedgerTransaction]":
+        """Open an exclusive read-modify-write transaction on one tenant.
+
+        The returned context manager yields a :class:`LedgerTransaction`;
+        no other transaction on the same store — in this thread, another
+        thread, or another process — can interleave between the read and
+        the commit.  On exception nothing is written.
+        """
+
+    @abstractmethod
+    def peek(self, tenant: str) -> "dict[str, Any] | None":
+        """A read-only snapshot of one tenant's state (``None`` if absent).
+
+        May run lock-free: it sees some committed state, never a torn one,
+        but a concurrent transaction may commit right after.  Never use a
+        peek to make a budget decision — that is what :meth:`transact` is
+        for.
+        """
+
+    @abstractmethod
+    def tenants(self) -> list[str]:
+        """Sorted names of every tenant with persisted state."""
+
+    def close(self) -> None:
+        """Release backend resources (connections, handles).  Idempotent."""
+
+
+class InMemoryLedgerStore(LedgerStore):
+    """Process-local store: a dict behind one lock.
+
+    The transaction lock is global (not per tenant) — contention is
+    irrelevant at in-memory speeds and a single lock cannot deadlock.
+    States are deep-copied through JSON on the way in and out, so a
+    handler mutating a peeked state cannot corrupt the store and the
+    store behaves byte-for-byte like its durable siblings.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[str, str] = {}  # tenant -> JSON text
+        self._lock = threading.RLock()
+
+    @contextlib.contextmanager
+    def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
+        with self._lock:
+            raw = self._states.get(tenant)
+            txn = LedgerTransaction(tenant, None if raw is None else json.loads(raw))
+            yield txn
+            if txn.state is not None:
+                self._states[tenant] = json.dumps(txn.state)
+
+    def peek(self, tenant: str) -> "dict[str, Any] | None":
+        with self._lock:
+            raw = self._states.get(tenant)
+            return None if raw is None else json.loads(raw)
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._states)
+
+
+class JSONFileLedgerStore(LedgerStore):
+    """One JSON file ``{tenant: state}`` with lock-held transactions.
+
+    Unlike the calibration cache's merge-on-write, the inter-process lock
+    is held for the **entire** read-modify-write cycle (ledger states do
+    not merge; see the module docstring), and the in-memory copy is never
+    trusted across transactions — every transaction re-reads the file, so
+    any number of processes sharing the path see one serialized history.
+    The commit is an atomic temp-file ``os.replace``, so a crash mid-write
+    leaves the previous state intact.
+    """
+
+    def __init__(self, path: str | Path, *, lock_timeout: float = 60.0) -> None:
+        self.path = Path(path)
+        self._lock_path = Path(str(self.path) + ".lock")
+        self._lock_timeout = float(lock_timeout)
+        self._thread_lock = threading.RLock()
+
+    def _read(self) -> dict[str, Any]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        try:
+            loaded = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"ledger store file {self.path} is corrupt: {error}"
+            ) from error
+        if not isinstance(loaded, dict):
+            raise ValidationError(
+                f"ledger store file {self.path} must hold a JSON object"
+            )
+        return loaded
+
+    def _write(self, states: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(states, stream)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+            raise
+
+    @contextlib.contextmanager
+    def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
+        with self._thread_lock, InterProcessLock(
+            self._lock_path, timeout=self._lock_timeout
+        ):
+            states = self._read()
+            txn = LedgerTransaction(tenant, states.get(tenant))
+            yield txn
+            if txn.state is not None:
+                states[tenant] = txn.state
+                self._write(states)
+
+    def peek(self, tenant: str) -> "dict[str, Any] | None":
+        # Lock-free: os.replace is atomic, so this sees a committed file.
+        return self._read().get(tenant)
+
+    def tenants(self) -> list[str]:
+        return sorted(self._read())
+
+
+class SQLiteLedgerStore(LedgerStore):
+    """A WAL-mode SQLite database, one state row per tenant.
+
+    ``BEGIN IMMEDIATE`` takes SQLite's write lock at transaction *start*
+    (not first write), so the whole read-decide-write cycle is exclusive
+    across processes; concurrent writers queue on ``busy_timeout`` instead
+    of failing.  WAL mode keeps readers unblocked and makes single-row
+    commits cheap.  One connection per store instance, serialized by a
+    thread lock — open one store per thread or share one; both are safe.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS tenant_ledgers (
+            tenant TEXT PRIMARY KEY,
+            state  TEXT NOT NULL
+        )
+    """
+
+    def __init__(
+        self, path: str | Path, *, busy_timeout_s: float = 60.0
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._thread_lock = threading.RLock()
+        # Autocommit mode: transaction boundaries are explicit BEGIN/COMMIT,
+        # never implicitly opened by the driver mid-cycle.
+        self._conn = sqlite3.connect(
+            str(self.path), isolation_level=None, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_s * 1000)}")
+        self._conn.execute(self._SCHEMA)
+
+    @contextlib.contextmanager
+    def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
+        with self._thread_lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT state FROM tenant_ledgers WHERE tenant = ?",
+                    (tenant,),
+                ).fetchone()
+                txn = LedgerTransaction(
+                    tenant, None if row is None else json.loads(row[0])
+                )
+                yield txn
+                if txn.state is not None:
+                    self._conn.execute(
+                        "INSERT INTO tenant_ledgers (tenant, state) VALUES (?, ?) "
+                        "ON CONFLICT (tenant) DO UPDATE SET state = excluded.state",
+                        (tenant, json.dumps(txn.state)),
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def peek(self, tenant: str) -> "dict[str, Any] | None":
+        with self._thread_lock:
+            row = self._conn.execute(
+                "SELECT state FROM tenant_ledgers WHERE tenant = ?", (tenant,)
+            ).fetchone()
+            return None if row is None else json.loads(row[0])
+
+    def tenants(self) -> list[str]:
+        with self._thread_lock:
+            rows = self._conn.execute(
+                "SELECT tenant FROM tenant_ledgers ORDER BY tenant"
+            ).fetchall()
+            return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._thread_lock:
+            self._conn.close()
+
+
+def ledger_store_from_path(path: "str | Path | None") -> LedgerStore:
+    """A store for a path: SQLite for ``.sqlite``/``.sqlite3``/``.db``
+    suffixes, the JSON file store otherwise, in-memory for ``None``."""
+    if path is None:
+        return InMemoryLedgerStore()
+    path = Path(path)
+    if path.suffix.lower() in (".sqlite", ".sqlite3", ".db"):
+        return SQLiteLedgerStore(path)
+    return JSONFileLedgerStore(path)

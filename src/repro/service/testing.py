@@ -1,0 +1,99 @@
+"""In-process ASGI test client (no sockets, no external HTTP library).
+
+The environment ships no ``httpx``/``starlette`` test client, so this is
+the minimal equivalent: build an ASGI ``http`` scope, run the app
+coroutine to completion on a private event loop, and hand back the
+response.  Requests are fully synchronous from the caller's point of view,
+which keeps service tests ordinary ``pytest`` functions — including
+multi-threaded ones (each call spins its own loop, so concurrent callers
+exercise the service's real locking, not asyncio's serialization).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.service.app import AsgiApp
+
+
+@dataclass
+class Response:
+    """One captured HTTP response."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+
+class TestClient:
+    """Synchronous in-process client for an :class:`~repro.service.app.
+    AsgiApp` (or any ASGI 3 callable speaking ``http`` scopes)."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, app: AsgiApp) -> None:
+        self.app = app
+
+    def request(
+        self, method: str, path: str, *, json_body: Any = None
+    ) -> Response:
+        payload = b"" if json_body is None else json.dumps(json_body).encode()
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [
+                (b"content-type", b"application/json"),
+                (b"content-length", str(len(payload)).encode()),
+            ],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+
+        messages: list[dict] = []
+        sent = False
+
+        async def receive() -> dict:
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": payload, "more_body": False}
+
+        async def send(message: dict) -> None:
+            messages.append(message)
+
+        asyncio.run(self.app(scope, receive, send))
+
+        status = 500
+        headers: dict[str, str] = {}
+        body = b""
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = {
+                    k.decode(): v.decode() for k, v in message.get("headers", [])
+                }
+            elif message["type"] == "http.response.body":
+                body += message.get("body", b"")
+        return Response(status, headers, body)
+
+    def get(self, path: str) -> Response:
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body: Any = None) -> Response:
+        return self.request("POST", path, json_body=json_body)
+
+    def delete(self, path: str) -> Response:
+        return self.request("DELETE", path)

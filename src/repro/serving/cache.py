@@ -27,15 +27,11 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-try:  # POSIX advisory file locking; absent on some platforms.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None  # type: ignore[assignment]
-
 from repro.core.laplace import Calibration, Mechanism
 from repro.core.queries import Query
 from repro.exceptions import ValidationError
 from repro.serving.fingerprint import cache_key
+from repro.utils.filelock import InterProcessLock
 
 
 class CacheBackend(ABC):
@@ -112,10 +108,13 @@ class JSONFileCache(CacheBackend):
     hold the same value for the same key.)
 
     The read-merge-replace sequence is serialized across writers — threads
-    *and* processes — by an exclusive ``fcntl`` lock on a ``<path>.lock``
-    sidecar; without it, two writers that both read before either replaced
-    would silently drop one side's entries (the lost-update race
-    ``tests/test_cache_concurrency.py`` hammers).  A miss in :meth:`get`
+    *and* processes — by an exclusive lock on a ``<path>.lock`` sidecar
+    (:class:`~repro.utils.filelock.InterProcessLock`: ``fcntl`` flock where
+    available, an ``O_CREAT|O_EXCL`` lock-file fallback with bounded retry
+    and a stale-holder TTL everywhere else); without it, two writers that
+    both read before either replaced would silently drop one side's entries
+    (the lost-update race ``tests/test_cache_concurrency.py`` hammers).  A
+    miss in :meth:`get`
     re-reads the file (when its stat changed) before answering, so entries
     another process persisted after this backend was constructed are found
     without a restart.  Suitable for the calibration workload — hundreds of
@@ -150,20 +149,14 @@ class JSONFileCache(CacheBackend):
 
         Advisory and cooperative: every writer in this codebase takes it.
         The sidecar (never the data file itself) is locked so the atomic
-        ``os.replace`` of the data file cannot invalidate the locked fd.  On
-        platforms without ``fcntl`` this degrades to the merge-on-write
-        behavior, which shrinks the race window but cannot close it.
+        ``os.replace`` of the data file cannot invalidate the lock.  On
+        platforms without ``fcntl``, :class:`~repro.utils.filelock.
+        InterProcessLock` transparently switches to its ``O_CREAT|O_EXCL``
+        lock-file mode — still a real mutual-exclusion guarantee, with
+        bounded retry instead of an indefinite block.
         """
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        with InterProcessLock(self._lock_path):
             yield
-            return
-        self._lock_path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self._lock_path, "a") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _stat(self) -> tuple[int, int] | None:
         try:
@@ -185,8 +178,8 @@ class JSONFileCache(CacheBackend):
         try:
             on_disk = json.loads(self.path.read_text())
         except (OSError, json.JSONDecodeError):
-            # Missing file, or (on non-POSIX hosts without the flock) a torn
-            # read: keep ours.
+            # Missing file (nothing to merge), or an unreadable one: keep
+            # ours; the next changed-stat miss retries.
             return
         if isinstance(on_disk, dict):
             merged = dict(on_disk)

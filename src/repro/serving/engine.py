@@ -90,6 +90,12 @@ class PrivacyEngine:
         preconfigured :class:`~repro.parallel.ParallelCalibrator`).  The
         sharded result is bit-identical to the serial one and lands in the
         same cache entry, so warm hits stay O(1) lookups either way.
+    tenant:
+        Optional tenant name this engine serves (multi-tenant deployments;
+        surfaced in :meth:`stats` and diagnostics).  The engine itself is
+        tenant-agnostic — budget isolation comes from the accountant, e.g. a
+        :class:`~repro.service.ledger.ReservationAccountant` bound to one
+        tenant's durable ledger.
     """
 
     def __init__(
@@ -101,8 +107,10 @@ class PrivacyEngine:
         accountant: "str | BaseAccountant | None" = None,
         rng: "int | np.random.Generator | None" = None,
         parallel: "bool | int | ParallelCalibrator | None" = None,  # noqa: F821
+        tenant: str | None = None,
     ) -> None:
         self.mechanism = mechanism
+        self.tenant = tenant
         self.cache = cache if cache is not None else CalibrationCache()
         if accountant is None or accountant == "linear":
             self.accountant: BaseAccountant = CompositionAccountant(
@@ -292,6 +300,34 @@ class PrivacyEngine:
             max_releases=max_releases,
         )
 
+    def with_accountant(
+        self,
+        accountant: BaseAccountant,
+        *,
+        tenant: str | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "PrivacyEngine":
+        """A sibling engine over the same mechanism, cache, and calibrator,
+        but debiting a different accountant.
+
+        This is the multi-tenant handle: the service keeps one warm base
+        engine per mechanism and hands each session a clone bound to its
+        tenant's :class:`~repro.service.ledger.ReservationAccountant`, so
+        every tenant shares the (expensive, tenant-agnostic) calibrations
+        while budgets stay strictly isolated.  The clone gets its own noise
+        stream and release counter.
+        """
+        clone = PrivacyEngine.__new__(PrivacyEngine)
+        clone.mechanism = self.mechanism
+        clone.cache = self.cache
+        clone.calibrator = self.calibrator
+        clone.accountant = accountant
+        clone.tenant = tenant if tenant is not None else self.tenant
+        clone._rng = resolve_rng(rng)
+        clone._n_releases = 0
+        clone._count_lock = threading.Lock()
+        return clone
+
     def _debit_one(self, quilt_signature: Hashable) -> None:
         """Atomically record one streamed release against the budget.
 
@@ -358,6 +394,7 @@ class PrivacyEngine:
         return {
             "mechanism": self.mechanism.name,
             "epsilon": self.mechanism.epsilon,
+            "tenant": self.tenant,
             "parallel_workers": (
                 self.calibrator.max_workers if self.calibrator is not None else None
             ),

@@ -319,3 +319,65 @@ class TestMechanismSuppliedCurves:
         accountant.record(0.5, quilt_signature=("q",))
         with pytest.raises(BudgetExhaustedError):
             accountant.record(0.5, quilt_signature=("q",))
+
+
+class TestPreview:
+    """``preview(charges)`` prices hypothetical schedules without mutating
+    the ledger — the primitive reservation admission builds on."""
+
+    def test_matches_actual_recording_linear(self):
+        for seed in SEEDS:
+            rnd = random.Random(seed)
+            schedule = random_schedule(rnd)
+            previewer = CompositionAccountant()
+            actual = CompositionAccountant()
+            for n, eps in schedule:
+                actual.record_many(n, eps, quilt_signature=("q",))
+            assert previewer.preview(schedule) == pytest.approx(
+                actual.total_epsilon()
+            )
+            # The previewing accountant itself never moved.
+            assert previewer.total_epsilon() == 0.0
+            assert len(previewer) == 0
+
+    def test_matches_actual_recording_renyi(self):
+        for seed in SEEDS:
+            rnd = random.Random(seed)
+            schedule = random_schedule(rnd)
+            previewer = RenyiAccountant(delta=1e-5)
+            actual = RenyiAccountant(delta=1e-5)
+            for n, eps in schedule:
+                actual.record_many(n, eps, quilt_signature=("q",))
+            assert previewer.preview(schedule) == pytest.approx(
+                actual.total_epsilon()
+            )
+            assert previewer.total_epsilon() == 0.0
+
+    def test_previews_on_top_of_recorded_history(self):
+        accountant = RenyiAccountant(delta=1e-5)
+        accountant.record_many(3, 0.4, quilt_signature=("q",))
+        shadow = RenyiAccountant(delta=1e-5)
+        shadow.record_many(3, 0.4, quilt_signature=("q",))
+        shadow.record_many(2, 0.1, quilt_signature=("q",))
+        assert accountant.preview([(2, 0.1)]) == pytest.approx(
+            shadow.total_epsilon()
+        )
+        assert len(accountant) == 3  # history untouched
+
+    def test_empty_and_zero_charges(self):
+        accountant = CompositionAccountant()
+        accountant.record_many(2, 0.5, quilt_signature=("q",))
+        assert accountant.preview([]) == accountant.total_epsilon()
+        assert accountant.preview([(0, 0.5)]) == accountant.total_epsilon()
+
+    def test_invalid_charges_refused(self):
+        accountant = CompositionAccountant()
+        with pytest.raises(PrivacyParameterError):
+            accountant.preview([(1, -0.5)])
+        with pytest.raises(PrivacyParameterError):
+            accountant.preview([(-1, 0.5)])
+
+    def test_preview_ignores_budget(self):
+        """Preview prices, it does not refuse — admission layers decide."""
+        accountant = CompositionAccountant(budget=1.0)
+        assert accountant.preview([(10, 0.5)]) == pytest.approx(5.0)

@@ -1,0 +1,157 @@
+"""Conformance of every :class:`~repro.service.stores.LedgerStore` backend.
+
+One parametrized suite: whatever the backend (in-memory dict, JSON file,
+SQLite), a store must provide exclusive read-modify-write transactions,
+abandon changes on exception, expose lock-free-safe peeks, and isolate
+tenants.  The cross-process guarantees get their own hammering in
+``tests/test_ledger_concurrency.py``; this file is the functional floor."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service.stores import (
+    InMemoryLedgerStore,
+    JSONFileLedgerStore,
+    SQLiteLedgerStore,
+    ledger_store_from_path,
+)
+
+BACKENDS = ("memory", "json", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    if request.param == "memory":
+        built = InMemoryLedgerStore()
+    elif request.param == "json":
+        built = JSONFileLedgerStore(tmp_path / "ledgers.json")
+    else:
+        built = SQLiteLedgerStore(tmp_path / "ledgers.sqlite")
+    yield built
+    built.close()
+
+
+def test_absent_tenant_reads_none(store):
+    assert store.peek("ghost") is None
+    assert store.tenants() == []
+    with store.transact("ghost") as txn:
+        assert txn.state is None
+    # A transaction that never assigned state created nothing.
+    assert store.peek("ghost") is None
+
+
+def test_create_read_update(store):
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1, "nested": {"values": [1.5, 2.5]}}
+    assert store.peek("acme") == {"n": 1, "nested": {"values": [1.5, 2.5]}}
+    with store.transact("acme") as txn:
+        txn.state["n"] += 1
+    assert store.peek("acme")["n"] == 2
+    assert store.tenants() == ["acme"]
+
+
+def test_exception_abandons_changes(store):
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1}
+    with pytest.raises(RuntimeError):
+        with store.transact("acme") as txn:
+            txn.state["n"] = 99
+            raise RuntimeError("refused")
+    assert store.peek("acme") == {"n": 1}
+
+
+def test_tenants_are_isolated(store):
+    with store.transact("a") as txn:
+        txn.state = {"who": "a"}
+    with store.transact("b") as txn:
+        txn.state = {"who": "b"}
+    assert store.tenants() == ["a", "b"]
+    assert store.peek("a") == {"who": "a"}
+    assert store.peek("b") == {"who": "b"}
+
+
+def test_peek_returns_a_copy(store):
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1}
+    snapshot = store.peek("acme")
+    snapshot["n"] = 999
+    assert store.peek("acme")["n"] == 1
+
+
+def test_threaded_increments_never_lost(store):
+    """The transactional core: 8 threads x 25 increments on one counter
+    must total exactly 200 — any lost update means the read-modify-write
+    cycle was not exclusive."""
+    with store.transact("counter") as txn:
+        txn.state = {"n": 0}
+    errors: list = []
+
+    def bump() -> None:
+        try:
+            for _ in range(25):
+                with store.transact("counter") as txn:
+                    txn.state["n"] += 1
+        except BaseException as error:  # pragma: no cover - regression only
+            errors.append(error)
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert store.peek("counter")["n"] == 200
+
+
+def test_json_store_corrupt_file_refused(tmp_path):
+    path = tmp_path / "ledgers.json"
+    path.write_text("{not json")
+    store = JSONFileLedgerStore(path)
+    with pytest.raises(ValidationError, match="corrupt"):
+        store.peek("acme")
+
+
+def test_json_store_survives_missing_file(tmp_path):
+    store = JSONFileLedgerStore(tmp_path / "sub" / "ledgers.json")
+    assert store.peek("acme") is None
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1}
+    assert store.peek("acme") == {"n": 1}
+
+
+def test_sqlite_store_persists_across_instances(tmp_path):
+    path = tmp_path / "ledgers.sqlite"
+    first = SQLiteLedgerStore(path)
+    with first.transact("acme") as txn:
+        txn.state = {"n": 7}
+    first.close()
+    second = SQLiteLedgerStore(path)
+    try:
+        assert second.peek("acme") == {"n": 7}
+    finally:
+        second.close()
+
+
+@pytest.mark.parametrize(
+    "path, expected",
+    [
+        (None, InMemoryLedgerStore),
+        ("ledgers.sqlite", SQLiteLedgerStore),
+        ("ledgers.sqlite3", SQLiteLedgerStore),
+        ("ledgers.db", SQLiteLedgerStore),
+        ("ledgers.json", JSONFileLedgerStore),
+        ("ledgers", JSONFileLedgerStore),
+    ],
+)
+def test_store_from_path_dispatch(tmp_path, path, expected):
+    store = ledger_store_from_path(
+        None if path is None else tmp_path / path
+    )
+    try:
+        assert isinstance(store, expected)
+    finally:
+        store.close()

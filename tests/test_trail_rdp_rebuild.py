@@ -1,0 +1,178 @@
+"""Regression: rebuilding a Rényi accountant from its audit trail must not
+drop mechanism-supplied RDP curves.
+
+The bug: trail records used to store only ``epsilon``, so a
+``RenyiAccountant(records=old.records)`` rebuild re-priced every release at
+the conservative *pure-release* curve.  For Gaussian MQM releases (whose
+own curve is far cheaper at moderate orders) the rebuilt ledger then showed
+a **larger** ``eps(delta)`` than the live accountant that served the
+releases — a restarted service would refuse work the budget actually
+allows, and a rebuilt stream would stop at a strictly earlier index.
+
+The fix serializes each release's curve values over the order grid into
+the trail record (``rdp_orders`` / ``rdp_values``); the rebuild re-applies
+them in the exact identity-grouped summation order, so every comparison
+below is bit-identical (``==``, not ``approx``)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianMarkovQuiltMechanism
+from repro.core.accounting import (
+    RenyiAccountant,
+    accountant_from_state,
+    pure_rdp_curve,
+)
+from repro.core.queries import CountQuery
+from repro.distributions.structured import hub_and_spoke_network
+from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
+from repro.serving import PrivacyEngine
+
+DELTA = 1e-5
+EPSILON = 0.4
+BUDGET = 6.0
+
+
+@pytest.fixture()
+def gaussian_workload():
+    network = hub_and_spoke_network(3, 2)
+    data = np.ones(len(network.nodes))
+    return GaussianMarkovQuiltMechanism([network], EPSILON, delta=DELTA), data, CountQuery()
+
+
+def _drain(mechanism, data, query, accountant):
+    """Stream until the budget refuses; returns (accountant, stop_index)."""
+    engine = PrivacyEngine(mechanism, accountant=accountant, rng=0)
+    with engine.stream(data, query, block_size=32) as session:
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            while True:
+                next(session)
+    assert excinfo.value.n_completed == session.n_yielded
+    return engine.accountant, session.n_yielded
+
+
+def test_trail_records_carry_gaussian_curves(gaussian_workload):
+    mechanism, data, query = gaussian_workload
+    acc = RenyiAccountant(budget=BUDGET, delta=DELTA)
+    PrivacyEngine(mechanism, accountant=acc, rng=0).release_repeated(data, query, 5)
+    record = acc.records[0]
+    assert record.rdp_orders == acc.orders
+    values = np.asarray(record.rdp_values)
+    orders = np.asarray(acc.orders, dtype=float)
+    # The stored values are the mechanism's own curve evaluated on the
+    # accountant's grid — not the conservative pure-release curve the
+    # buggy rebuild used to substitute (the two genuinely differ here, so
+    # dropping the curve would change the ledger).
+    assert np.array_equal(values, mechanism.rdp_curve(orders))
+    assert not np.allclose(values, pure_rdp_curve(EPSILON, orders))
+
+
+def test_pickle_rebuild_bit_identical_eps(gaussian_workload):
+    mechanism, data, query = gaussian_workload
+    live, _ = _drain(mechanism, data, query, RenyiAccountant(budget=BUDGET, delta=DELTA))
+
+    rebuilt = RenyiAccountant(
+        budget=BUDGET,
+        delta=DELTA,
+        records=pickle.loads(pickle.dumps(live.records)),
+    )
+    # Bit-identical, not approximately equal: the rebuild repeats the exact
+    # identity-grouped float summation the live accountant performed.
+    assert rebuilt.total_epsilon() == live.total_epsilon()
+    assert np.array_equal(rebuilt._rdp, live._rdp)
+    assert rebuilt.remaining() == live.remaining()
+
+
+def test_rebuilt_stream_stops_at_identical_index(gaussian_workload):
+    mechanism, data, query = gaussian_workload
+    live, stop_index = _drain(
+        mechanism, data, query, RenyiAccountant(budget=BUDGET, delta=DELTA)
+    )
+    assert stop_index > 0
+
+    # A fresh budget drained through a rebuilt-from-trail accountant must
+    # stop at exactly the same index — the regression had it stopping
+    # strictly earlier (pure-curve re-pricing).
+    prefix = RenyiAccountant(
+        budget=BUDGET,
+        delta=DELTA,
+        records=pickle.loads(pickle.dumps(live.records[: stop_index // 2])),
+    )
+    engine = PrivacyEngine(mechanism, accountant=prefix, rng=1)
+    with engine.stream(data, query, block_size=32) as session:
+        with pytest.raises(BudgetExhaustedError):
+            while True:
+                next(session)
+    assert len(prefix) == stop_index
+
+    # And the continuation refuses exactly where the live one does.
+    with pytest.raises(BudgetExhaustedError):
+        prefix.record(EPSILON, quilt_signature=live.records[0].quilt_signature,
+                      rdp_curve=mechanism.rdp_curve)
+
+
+def test_state_dict_round_trip_bit_identical(gaussian_workload):
+    mechanism, data, query = gaussian_workload
+    live, _ = _drain(mechanism, data, query, RenyiAccountant(budget=BUDGET, delta=DELTA))
+
+    import json
+
+    state = json.loads(json.dumps(live.state_dict()))
+    restored = accountant_from_state(state)
+    assert isinstance(restored, RenyiAccountant)
+    assert restored.total_epsilon() == live.total_epsilon()
+    assert np.array_equal(restored._rdp, live._rdp)
+    assert len(restored) == len(live)
+    # The restored ledger refuses the same next release.
+    with pytest.raises(BudgetExhaustedError):
+        restored.record(
+            EPSILON,
+            quilt_signature=live.records[0].quilt_signature if live.records else None,
+            rdp_curve=mechanism.rdp_curve,
+        )
+
+
+def test_trailless_state_round_trip(gaussian_workload):
+    """audit_trail=False ledgers (O(1) aggregates) round-trip too — the
+    stored running curve, not the trail, is the source of truth."""
+    mechanism, data, query = gaussian_workload
+    acc = RenyiAccountant(budget=BUDGET, delta=DELTA, audit_trail=False)
+    PrivacyEngine(mechanism, accountant=acc, rng=0).release_repeated(data, query, 7)
+    assert acc.records == []
+    restored = accountant_from_state(acc.state_dict())
+    assert restored.total_epsilon() == acc.total_epsilon()
+    assert len(restored) == 7
+
+
+def test_rebuild_rejects_mismatched_order_grid(gaussian_workload):
+    """Stored curve values are meaningless on a different grid; rebuilding
+    with one must refuse loudly rather than re-price silently."""
+    mechanism, data, query = gaussian_workload
+    acc = RenyiAccountant(budget=BUDGET, delta=DELTA)
+    PrivacyEngine(mechanism, accountant=acc, rng=0).release_repeated(data, query, 3)
+    with pytest.raises(PrivacyParameterError, match="order grid"):
+        RenyiAccountant(
+            budget=BUDGET,
+            delta=DELTA,
+            orders=(2.0, 4.0, 8.0, float("inf")),
+            records=pickle.loads(pickle.dumps(acc.records)),
+        )
+
+
+def test_pure_release_trail_stays_curveless():
+    """Laplace MQM releases carry no curve: epsilon alone reproduces the
+    cost, so their trail records stay lean (None fields) and still rebuild
+    bit-identically."""
+    acc = RenyiAccountant(budget=5.0, delta=DELTA)
+    acc.record_many(4, 0.3, quilt_signature=("n", ("a", "b")))
+    record = acc.records[0]
+    assert record.rdp_orders is None and record.rdp_values is None
+    rebuilt = RenyiAccountant(
+        budget=5.0, delta=DELTA, records=pickle.loads(pickle.dumps(acc.records))
+    )
+    assert rebuilt.total_epsilon() == acc.total_epsilon()
+    assert np.array_equal(rebuilt._rdp, acc._rdp)
