@@ -21,6 +21,7 @@ ROOT = Path(__file__).resolve().parent.parent
 REQUIRED = frozenset(
     {
         "benchmarks.bench_accounting",
+        "benchmarks.bench_chaos",
         "benchmarks.bench_engine_throughput",
         "benchmarks.bench_inference",
         "benchmarks.bench_parallel_calibration",

@@ -338,7 +338,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import create_app
     from repro.service.server import serve
 
-    app = create_app(args.store, reservation_ttl=args.reservation_ttl)
+    app = create_app(
+        args.store,
+        reservation_ttl=args.reservation_ttl,
+        request_timeout=args.request_timeout,
+        max_concurrency=args.max_concurrency,
+    )
     serve(app, host=args.host, port=args.port)
     return 0
 
@@ -444,6 +449,16 @@ def main(argv: list[str] | None = None) -> int:
         "--reservation-ttl", type=float, default=3600.0,
         help="seconds before an abandoned reservation stops counting "
         "against admission",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request wall-clock deadline in seconds; past it the "
+        "client gets 503 RequestTimeout with Retry-After",
+    )
+    p_serve.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="requests in flight before new ones are refused with "
+        "503 ServiceSaturated + Retry-After (backpressure, not queueing)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -25,13 +25,27 @@ class ReproError(Exception):
     #: override with the semantically right 4xx.
     http_status: int = 500
 
+    #: Optional hint, in seconds, for when retrying this refusal could
+    #: succeed.  The service layer turns it into a ``Retry-After`` response
+    #: header.  ``None`` (the default) means either "retrying cannot help"
+    #: (a validation error, a permanently spent budget) or "no estimate";
+    #: raise sites that *know* the horizon — lock contention bounded by the
+    #: lock timeout, budget held by reservations bounded by the reservation
+    #: TTL — set an instance attribute.
+    retry_after: "float | None" = None
+
     def payload(self) -> dict:
         """JSON-safe response body: the error class name and message.
 
         Subclasses extend this with their structured fields (see
-        :meth:`BudgetExhaustedError.payload`).
+        :meth:`BudgetExhaustedError.payload`).  When a retry hint is set it
+        rides along as ``retry_after`` (mirroring the ``Retry-After``
+        header) so non-HTTP callers see it too.
         """
-        return {"error": type(self).__name__, "message": str(self)}
+        body = {"error": type(self).__name__, "message": str(self)}
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return body
 
 
 class ValidationError(ReproError, ValueError):

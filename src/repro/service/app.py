@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import uuid
 from dataclasses import dataclass, field
@@ -58,6 +59,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro.core.composition import CompositionAccountant
 from repro.core.laplace import Mechanism, PrivateRelease
 from repro.core.queries import Query
 from repro.exceptions import (
@@ -65,8 +67,11 @@ from repro.exceptions import (
     UnknownSessionError,
     ValidationError,
 )
+from repro.faults import current as current_injector
+from repro.faults import fire
 from repro.serving.engine import PrivacyEngine
 from repro.service.ledger import ReservationAccountant, TenantLedger
+from repro.service.retry import RetryPolicy, RetryingLedgerStore, with_retries
 from repro.service.schemas import (
     get_bool,
     get_float,
@@ -158,6 +163,16 @@ class PrivacyService:
     reservation_ttl:
         Abandoned-reservation TTL forwarded to every
         :class:`~repro.service.ledger.TenantLedger`.
+    retry_policy:
+        Transient store errors (lock timeouts, SQLite busy, EIO) are
+        absorbed by wrapping the store in a
+        :class:`~repro.service.retry.RetryingLedgerStore` — pass a
+        :class:`~repro.service.retry.RetryPolicy` to tune, ``None`` for
+        defaults, or ``False`` to use the store raw.
+    recover_on_start:
+        Run :meth:`recover` at construction so a restarted replica
+        reconciles stranded state (expired reservations of a killed
+        predecessor) before serving its first request.
     """
 
     def __init__(
@@ -166,11 +181,16 @@ class PrivacyService:
         *,
         workloads: "Mapping[str, Workload] | None" = None,
         reservation_ttl: "float | None" = 3600.0,
+        retry_policy: "RetryPolicy | None | bool" = None,
+        recover_on_start: bool = True,
     ) -> None:
         if isinstance(store, LedgerStore):
             self.store = store
         else:
             self.store = ledger_store_from_path(store)
+        if retry_policy is not False:
+            policy = retry_policy if isinstance(retry_policy, RetryPolicy) else None
+            self.store = with_retries(self.store, policy)
         self.workloads = dict(
             workloads if workloads is not None else default_workloads()
         )
@@ -182,6 +202,8 @@ class PrivacyService:
         }
         self._streams: dict[str, _StreamState] = {}
         self._streams_lock = threading.Lock()
+        if recover_on_start:
+            self.recover()
 
     def close(self) -> None:
         with self._streams_lock:
@@ -217,9 +239,12 @@ class PrivacyService:
 
     # -- handlers ---------------------------------------------------------
     def health(self) -> dict:
+        store = self.store
+        if isinstance(store, RetryingLedgerStore):
+            store = store.inner
         return {
             "status": "ok",
-            "store": type(self.store).__name__,
+            "store": type(store).__name__,
             "workloads": sorted(self.workloads),
             "tenants": self.store.tenants(),
             "open_sessions": len(self._streams),
@@ -280,31 +305,76 @@ class PrivacyService:
 
     def release(self, tenant: str, body: Mapping) -> dict:
         """``n`` budgeted releases, atomically admitted and exactly-once
-        debited: reserve the sub-budget, serve against a ledger-bound engine
-        clone, return the unused remainder (zero on success — the engine
-        records the whole batch or nothing)."""
+        debited.
+
+        The crash-safe lifecycle: **reserve** the sub-budget (one store
+        transaction), **draw** every noisy value locally against the
+        reservation envelope (nothing durable, nothing visible to the
+        client yet), then **commit** values and debit in one final store
+        transaction, and return the unused remainder.  A crash anywhere
+        before the commit debits nothing and releases nothing; a crash
+        after the commit lost only the response — which is what the
+        optional ``idempotency_key`` recovers: the key and the response
+        payload are persisted *with* the debit, so a retried request
+        replays the original values instead of spending again (the reply
+        carries ``"replayed": true``).
+        """
         body = require_object(body)
         workload, engine = self._workload(get_str(body, "workload"))
         n = get_int(body, "n", default=1, minimum=1, maximum=MAX_RELEASES_PER_CALL)
         seed = get_int(body, "seed")
+        idempotency_key = get_str(body, "idempotency_key")
         ledger = self.ledger(tenant)
+        if idempotency_key is not None:
+            # Fast path: an obvious replay skips reserve/draw entirely.
+            # Not authoritative (consume_idempotent re-checks in its own
+            # transaction); just saves work on the common retry.
+            stored = ledger.idempotent_response(idempotency_key)
+            if stored is not None:
+                return {**stored, "ledger": ledger.snapshot(), "replayed": True}
         reservation = ledger.reserve(n, workload.mechanism.epsilon)
+        replayed = False
         try:
-            accountant = ReservationAccountant(ledger, reservation)
-            clone = engine.with_accountant(accountant, tenant=tenant, rng=seed)
+            # Draw against a local accountant bounded by the reservation
+            # envelope — no durable writes between reserve and commit.
+            local = CompositionAccountant(
+                budget=reservation.epsilon_total, audit_trail=False
+            )
+            clone = engine.with_accountant(local, tenant=tenant, rng=seed)
             releases = clone.release_repeated(workload.data, workload.query, n)
+            response = {
+                "tenant": tenant,
+                "workload": workload.name,
+                "mechanism": workload.mechanism.name,
+                "epsilon_each": workload.mechanism.epsilon,
+                "n": len(releases),
+                "values": [self._encode_release(r) for r in releases],
+                "noise_scale": releases[0].noise_scale,
+            }
+            if idempotency_key is not None:
+                response["idempotency_key"] = idempotency_key
+                response, replayed = ledger.consume_idempotent(
+                    reservation.reservation_id,
+                    len(releases),
+                    epsilon=workload.mechanism.epsilon,
+                    idempotency_key=idempotency_key,
+                    response=response,
+                    mechanism=workload.mechanism.name,
+                    quilt_signature=clone._quilt_signature(),
+                    rdp_curve=clone._rdp_curve(),
+                )
+            else:
+                ledger.consume(
+                    reservation.reservation_id,
+                    len(releases),
+                    epsilon=workload.mechanism.epsilon,
+                    mechanism=workload.mechanism.name,
+                    quilt_signature=clone._quilt_signature(),
+                    rdp_curve=clone._rdp_curve(),
+                )
         finally:
             ledger.release_unused(reservation.reservation_id)
-        return {
-            "tenant": tenant,
-            "workload": workload.name,
-            "mechanism": workload.mechanism.name,
-            "epsilon_each": workload.mechanism.epsilon,
-            "n": len(releases),
-            "values": [self._encode_release(r) for r in releases],
-            "noise_scale": releases[0].noise_scale,
-            "ledger": ledger.snapshot(),
-        }
+        return {**response, "ledger": ledger.snapshot(), "replayed": replayed}
 
     def open_stream(self, tenant: str, body: Mapping) -> dict:
         """Open a streaming session holding a reservation of ``n_reserved``
@@ -394,6 +464,41 @@ class PrivacyService:
             "ledger": state.ledger.snapshot(),
         }
 
+    # -- recovery and observability ---------------------------------------
+    def recover(self) -> dict:
+        """The recovery sweep: reconcile every tenant's ledger.
+
+        Runs :meth:`~repro.service.ledger.TenantLedger.sweep` per tenant —
+        reclaiming reservations stranded by killed workers once past their
+        TTL, pruning stale idempotency records — and reports totals.
+        Invoked at service construction and via ``POST /admin/recover``;
+        safe to run any time (sweeping is idempotent and only ever
+        *returns* unspent budget).
+        """
+        tenants: dict[str, dict] = {}
+        for tenant in self.store.tenants():
+            tenants[tenant] = self.ledger(tenant).sweep()
+        return {
+            "tenants": tenants,
+            "expired_reservations": sum(
+                t["expired_reservations"] for t in tenants.values()
+            ),
+            "reclaimed_releases": sum(
+                t["reclaimed_releases"] for t in tenants.values()
+            ),
+            "pruned_idempotency_records": sum(
+                t["pruned_idempotency_records"] for t in tenants.values()
+            ),
+        }
+
+    def faults_status(self) -> dict:
+        """What the process-global fault injector (if any) has been doing —
+        chaos-run observability, not a production surface."""
+        injector = current_injector()
+        if injector is None:
+            return {"installed": False}
+        return {"installed": True, **injector.stats()}
+
 
 # --------------------------------------------------------------------------
 # The ASGI layer: routing, JSON codec, exception -> status mapping.
@@ -409,10 +514,46 @@ class AsgiApp:
     (``asyncio.to_thread``), so slow store transactions never stall the
     event loop.  Route patterns use ``{name}`` placeholders matched one
     path segment each.
+
+    Two resource guards make overload explicit instead of cascading:
+
+    * **Deadlines** — each handler gets ``request_timeout`` seconds of
+      wall clock (``asyncio.wait_for``); past it the client receives a
+      503 ``RequestTimeout`` with ``Retry-After`` (the worker thread runs
+      to completion in the background — its store transaction stays
+      atomic — but its slot stays held, which is exactly the
+      backpressure a stuck store should exert).
+    * **Backpressure** — at most ``max_concurrency`` handlers in flight;
+      beyond that, requests are refused *immediately* with a 503
+      ``ServiceSaturated`` + ``Retry-After`` instead of queueing into a
+      latency spiral.  The semaphore is a :class:`threading` one on
+      purpose: request loops may differ (the test client runs one loop
+      per request), the thread pool is the actual shared resource.
     """
 
-    def __init__(self, service: PrivacyService) -> None:
+    def __init__(
+        self,
+        service: PrivacyService,
+        *,
+        request_timeout: "float | None" = 30.0,
+        max_concurrency: "int | None" = 64,
+    ) -> None:
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValidationError(
+                f"request_timeout must be positive or None, got {request_timeout}"
+            )
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValidationError(
+                f"max_concurrency must be >= 1 or None, got {max_concurrency}"
+            )
         self.service = service
+        self.request_timeout = request_timeout
+        self.max_concurrency = max_concurrency
+        self._slots = (
+            threading.BoundedSemaphore(max_concurrency)
+            if max_concurrency is not None
+            else None
+        )
         s = service
         # (method, pattern segments, handler, takes_body)
         self._routes: list[_Route] = [
@@ -426,6 +567,8 @@ class AsgiApp:
             ("POST", ("tenants", "{tenant}", "stream"), s.open_stream, True),
             ("POST", ("sessions", "{session_id}", "next"), s.stream_next, True),
             ("DELETE", ("sessions", "{session_id}"), s.close_stream, False),
+            ("POST", ("admin", "recover"), s.recover, False),
+            ("GET", ("admin", "faults"), s.faults_status, False),
         ]
 
     # -- routing ----------------------------------------------------------
@@ -458,7 +601,7 @@ class AsgiApp:
             return
         if scope["type"] != "http":  # pragma: no cover - ws etc.
             raise NotImplementedError(f"unsupported scope {scope['type']!r}")
-        status, payload = await self._dispatch(scope, receive)
+        status, payload, extra_headers = await self._dispatch(scope, receive)
         body = json.dumps(payload).encode()
         await send(
             {
@@ -467,21 +610,28 @@ class AsgiApp:
                 "headers": [
                     (b"content-type", b"application/json"),
                     (b"content-length", str(len(body)).encode()),
+                    *extra_headers,
                 ],
             }
         )
         await send({"type": "http.response.body", "body": body})
 
-    async def _dispatch(self, scope, receive) -> tuple[int, Any]:
+    async def _dispatch(
+        self, scope, receive
+    ) -> "tuple[int, Any, list[tuple[bytes, bytes]]]":
         method = scope["method"].upper()
         path = scope["path"]
         try:
             match = self._match(method, path)
             if match is None:
-                return 404, {
-                    "error": "NotFound",
-                    "message": f"no route for {method} {path}",
-                }
+                return (
+                    404,
+                    {
+                        "error": "NotFound",
+                        "message": f"no route for {method} {path}",
+                    },
+                    [],
+                )
             handler, params, takes_body = match
             if takes_body:
                 raw = await _read_body(receive)
@@ -498,12 +648,75 @@ class AsgiApp:
             else:
                 await _read_body(receive)  # drain
                 args = tuple(params)
-            result = await asyncio.to_thread(handler, *args)
-            return 200, result
+            if self._slots is not None and not self._slots.acquire(blocking=False):
+                return (
+                    503,
+                    {
+                        "error": "ServiceSaturated",
+                        "message": (
+                            f"{self.max_concurrency} requests already in "
+                            f"flight; retry shortly"
+                        ),
+                        "retry_after": 1,
+                    },
+                    [(b"retry-after", b"1")],
+                )
+
+            def guarded(*call_args: Any) -> Any:
+                # Runs on the worker thread: the slot is held for as long
+                # as the handler actually occupies the pool — including
+                # after a deadline abandons the awaiting coroutine.
+                try:
+                    fire("app.request", method=method, path=path)
+                    return handler(*call_args)
+                finally:
+                    if self._slots is not None:
+                        self._slots.release()
+
+            coroutine = asyncio.to_thread(guarded, *args)
+            if self.request_timeout is not None:
+                result = await asyncio.wait_for(coroutine, self.request_timeout)
+            else:
+                result = await coroutine
+            return 200, result, []
         except _MethodNotAllowed as error:
-            return 405, {"error": "MethodNotAllowed", "message": str(error)}
+            return 405, {"error": "MethodNotAllowed", "message": str(error)}, []
+        # ReproError before asyncio.TimeoutError: LockTimeoutError subclasses
+        # both (TimeoutError IS asyncio.TimeoutError on 3.11+), and a store
+        # lock timeout must map to its own 503, not the deadline's.
         except ReproError as error:
-            return error.http_status, error.payload()
+            headers: list[tuple[bytes, bytes]] = []
+            if error.retry_after is not None:
+                seconds = max(1, math.ceil(error.retry_after))
+                headers.append((b"retry-after", str(seconds).encode()))
+            return error.http_status, error.payload(), headers
+        except asyncio.TimeoutError:
+            retry_after = max(1, math.ceil(self.request_timeout or 1))
+            return (
+                503,
+                {
+                    "error": "RequestTimeout",
+                    "message": (
+                        f"request exceeded the {self.request_timeout}s "
+                        f"deadline; it was abandoned (any ledger transaction "
+                        f"still commits or rolls back atomically)"
+                    ),
+                    "retry_after": retry_after,
+                },
+                [(b"retry-after", str(retry_after).encode())],
+            )
+        except Exception as error:
+            # A real bug, not a refusal: fail the request, not the server.
+            # (SimulatedCrashError is a BaseException and deliberately NOT
+            # caught — a simulated crash must escape like a real one.)
+            return (
+                500,
+                {
+                    "error": "InternalError",
+                    "message": f"{type(error).__name__}: {error}",
+                },
+                [],
+            )
 
     async def _lifespan(self, receive, send) -> None:
         while True:
@@ -538,11 +751,21 @@ def create_app(
     *,
     workloads: "Mapping[str, Workload] | None" = None,
     reservation_ttl: "float | None" = 3600.0,
+    retry_policy: "RetryPolicy | None | bool" = None,
+    recover_on_start: bool = True,
+    request_timeout: "float | None" = 30.0,
+    max_concurrency: "int | None" = 64,
 ) -> AsgiApp:
     """Build the service and its ASGI app in one call (the usual entry
     point for servers and tests)."""
     return AsgiApp(
         PrivacyService(
-            store, workloads=workloads, reservation_ttl=reservation_ttl
-        )
+            store,
+            workloads=workloads,
+            reservation_ttl=reservation_ttl,
+            retry_policy=retry_policy,
+            recover_on_start=recover_on_start,
+        ),
+        request_timeout=request_timeout,
+        max_concurrency=max_concurrency,
     )

@@ -38,6 +38,27 @@ debits the durable ledger per release with no engine changes — budget
 refusals surface as the same structured
 :class:`~repro.exceptions.BudgetExhaustedError` the in-memory accountants
 raise.
+
+Two crash-safety layers ride on top (see ``docs/architecture.md``):
+
+* **Idempotency keys** (:meth:`TenantLedger.consume_idempotent`): the
+  debit, the key, and the response payload to replay land in **one** store
+  transaction, so a client that lost the response and retries observes
+  exactly one debit and the original payload — even if the retry races the
+  original, or the store throws *after* the commit and a retrying wrapper
+  re-runs the cycle.
+* **Recovery sweep** (:meth:`TenantLedger.sweep`): reconciles expired
+  reservations (a SIGKILL'd session's stranded sub-budget) and stale
+  idempotency records in one transaction, so reclamation does not have to
+  wait for the next admission to prune lazily.
+
+Every ledger mutation goes through :meth:`~repro.service.stores.
+LedgerStore.run` (the closure form of ``transact``) and is safe to re-run
+from a fresh read, which is what lets
+:class:`~repro.service.retry.RetryingLedgerStore` retry transient store
+errors end to end: reservation ids are fixed before the cycle starts (a
+re-run overwrites the same entry), consumes with idempotency keys replay,
+and ``release_unused`` is idempotent-by-absence.
 """
 
 from __future__ import annotations
@@ -63,9 +84,12 @@ from repro.exceptions import (
     UnknownTenantError,
     ValidationError,
 )
-from repro.service.stores import LedgerStore
+from repro.faults import fire
+from repro.service.stores import LedgerStore, LedgerTransaction
 
 #: Stored-state schema version; bumped on incompatible layout changes.
+#: (Idempotency records were added additively under the ``"idempotency"``
+#: key — absent in old states, defaulted on read — so the version holds.)
 STATE_VERSION = 1
 
 
@@ -114,6 +138,10 @@ class TenantLedger:
         expiry.  The TTL must comfortably exceed the longest legitimate
         session; it exists so a crashed client cannot strand tenant budget
         forever.
+    idempotency_ttl:
+        Seconds an idempotency record (key + replayable response) is kept
+        before :meth:`sweep` prunes it.  Must comfortably exceed the
+        longest client retry horizon; ``None`` keeps records forever.
     """
 
     def __init__(
@@ -122,6 +150,7 @@ class TenantLedger:
         tenant: str,
         *,
         reservation_ttl: "float | None" = 3600.0,
+        idempotency_ttl: "float | None" = 3600.0,
     ) -> None:
         if not tenant or "/" in tenant:
             raise ValidationError(
@@ -131,9 +160,14 @@ class TenantLedger:
             raise ValidationError(
                 f"reservation_ttl must be positive or None, got {reservation_ttl}"
             )
+        if idempotency_ttl is not None and idempotency_ttl <= 0:
+            raise ValidationError(
+                f"idempotency_ttl must be positive or None, got {idempotency_ttl}"
+            )
         self.store = store
         self.tenant = tenant
         self.reservation_ttl = reservation_ttl
+        self.idempotency_ttl = idempotency_ttl
 
     # -- tenant lifecycle -------------------------------------------------
     def create(
@@ -163,7 +197,9 @@ class TenantLedger:
             raise ValidationError(
                 f"accountant must be 'linear' or 'renyi', got {accountant!r}"
             )
-        with self.store.transact(self.tenant) as txn:
+        fresh_state = fresh.state_dict()
+
+        def handler(txn: LedgerTransaction) -> dict:
             if txn.state is not None:
                 if not exist_ok:
                     raise ValidationError(
@@ -172,10 +208,13 @@ class TenantLedger:
                 return self._snapshot_from_state(txn.state)
             txn.state = {
                 "version": STATE_VERSION,
-                "accountant": fresh.state_dict(),
+                "accountant": fresh_state,
                 "reservations": {},
+                "idempotency": {},
             }
             return self._snapshot_from_state(txn.state)
+
+        return self.store.run(self.tenant, handler)
 
     def exists(self) -> bool:
         return self.store.peek(self.tenant) is not None
@@ -192,6 +231,17 @@ class TenantLedger:
         would overshoot — so the sum of granted sub-budgets can never
         exceed the tenant budget, no matter how many sessions race, from
         how many processes.
+
+        A refusal while *other* reservations are outstanding carries
+        ``retry_after = reservation_ttl`` (mapped to an HTTP
+        ``Retry-After`` by the service): the budget those reservations
+        hold returns by the TTL at the latest, so retrying then can
+        succeed; a refusal with nothing outstanding is final.
+
+        Safe to re-run by a retrying store wrapper: the reservation id is
+        fixed before the transaction starts, so a re-run after a commit
+        that actually landed overwrites the same entry with the same
+        content instead of granting a second sub-budget.
         """
         if n_releases < 1:
             raise PrivacyParameterError(
@@ -201,13 +251,17 @@ class TenantLedger:
             raise PrivacyParameterError(
                 f"epsilon must be positive, got {epsilon}"
             )
-        with self.store.transact(self.tenant) as txn:
+        fire("tenant.reserve", tenant=self.tenant, n_releases=int(n_releases))
+        reservation_id = uuid.uuid4().hex
+
+        def handler(txn: LedgerTransaction) -> Reservation:
             state = self._require(txn.state)
             self._expire_locked(state)
             accountant = accountant_from_state(state["accountant"])
             outstanding = [
                 (r["n_reserved"] - r["n_consumed"], r["epsilon"])
-                for r in state["reservations"].values()
+                for rid, r in state["reservations"].items()
+                if rid != reservation_id  # a re-run must not double-count itself
             ]
             charges = outstanding + [(int(n_releases), float(epsilon))]
             prospective = accountant.preview(charges)
@@ -215,7 +269,7 @@ class TenantLedger:
             if budget is not None and prospective > budget + _ATOL:
                 spent = accountant.total_epsilon()
                 reserved = sum(n * eps for n, eps in outstanding)
-                raise BudgetExhaustedError(
+                error = BudgetExhaustedError(
                     f"reserving {n_releases} release(s) at epsilon={epsilon:g} "
                     f"would bring tenant {self.tenant!r} to a prospective "
                     f"guarantee of {prospective:.4g} (spent {spent:.4g}, "
@@ -228,7 +282,9 @@ class TenantLedger:
                     n_completed=0,
                     accountant=type(accountant).__name__,
                 )
-            reservation_id = uuid.uuid4().hex
+                if outstanding and self.reservation_ttl is not None:
+                    error.retry_after = self.reservation_ttl
+                raise error
             state["reservations"][reservation_id] = {
                 "epsilon": float(epsilon),
                 "n_reserved": int(n_releases),
@@ -238,6 +294,8 @@ class TenantLedger:
             return Reservation(
                 self.tenant, reservation_id, float(epsilon), int(n_releases), 0
             )
+
+        return self.store.run(self.tenant, handler)
 
     def consume(
         self,
@@ -261,59 +319,231 @@ class TenantLedger:
             raise PrivacyParameterError(
                 f"n_releases must be >= 1, got {n_releases}"
             )
-        with self.store.transact(self.tenant) as txn:
+        fire(
+            "tenant.consume",
+            tenant=self.tenant,
+            reservation_id=reservation_id,
+            n_releases=int(n_releases),
+        )
+
+        def handler(txn: LedgerTransaction) -> Reservation:
             state = self._require(txn.state)
-            entry = state["reservations"].get(reservation_id)
-            if entry is None:
-                raise UnknownReservationError(
-                    f"tenant {self.tenant!r} has no outstanding reservation "
-                    f"{reservation_id!r} (already released, or expired past "
-                    f"the {self.reservation_ttl}s TTL)"
-                )
-            if float(epsilon) != entry["epsilon"]:
-                raise ReservationError(
-                    f"reservation {reservation_id!r} holds epsilon="
-                    f"{entry['epsilon']:g} per release, cannot consume at "
-                    f"epsilon={epsilon:g}"
-                )
-            remaining = entry["n_reserved"] - entry["n_consumed"]
-            if n_releases > remaining:
-                raise ReservationError(
-                    f"reservation {reservation_id!r} has {remaining} "
-                    f"release(s) left, cannot consume {n_releases}; reserve "
-                    f"a larger sub-budget or open a new session"
-                )
-            accountant = accountant_from_state(state["accountant"])
-            accountant.record_many(
+            return self._consume_in_state(
+                state,
+                reservation_id,
                 int(n_releases),
-                float(epsilon),
+                epsilon=float(epsilon),
                 mechanism=mechanism,
                 quilt_signature=quilt_signature,
                 rdp_curve=rdp_curve,
             )
-            entry["n_consumed"] += int(n_releases)
-            state["accountant"] = accountant.state_dict()
-            return Reservation(
-                self.tenant,
-                reservation_id,
-                entry["epsilon"],
-                entry["n_reserved"],
-                entry["n_consumed"],
+
+        return self.store.run(self.tenant, handler)
+
+    def consume_idempotent(
+        self,
+        reservation_id: str,
+        n_releases: int,
+        *,
+        epsilon: float,
+        idempotency_key: str,
+        response: Any,
+        mechanism: str = "MQM",
+        quilt_signature: Hashable = None,
+        rdp_curve: "RdpCurve | None" = None,
+    ) -> "tuple[Any, bool]":
+        """Debit exactly once per ``idempotency_key``; replay on repeats.
+
+        Returns ``(response, replayed)``.  First time a key is seen, the
+        debit (:meth:`consume` semantics) **and** the caller-supplied
+        ``response`` payload are persisted in the *same* store transaction;
+        the response comes back with ``replayed=False``.  Any later call
+        with the same key — a client retry after a lost HTTP response, or
+        a retrying store wrapper re-running a cycle whose commit already
+        landed — debits nothing and returns the stored payload with
+        ``replayed=True``.  Because key, debit, and payload commit
+        atomically, there is no window where the debit landed but a retry
+        would re-debit, and none where a replayed response was never paid
+        for.
+
+        ``response`` must be JSON-serializable (it lives in ledger state).
+        """
+        if not idempotency_key or not isinstance(idempotency_key, str):
+            raise ValidationError(
+                f"idempotency_key must be a non-empty string, "
+                f"got {idempotency_key!r}"
             )
+        if n_releases < 1:
+            raise PrivacyParameterError(
+                f"n_releases must be >= 1, got {n_releases}"
+            )
+        fire(
+            "tenant.consume",
+            tenant=self.tenant,
+            reservation_id=reservation_id,
+            n_releases=int(n_releases),
+            idempotency_key=idempotency_key,
+        )
+
+        def handler(txn: LedgerTransaction) -> "tuple[Any, bool]":
+            state = self._require(txn.state)
+            records = state.setdefault("idempotency", {})
+            record = records.get(idempotency_key)
+            if record is not None:
+                return record["response"], True
+            self._consume_in_state(
+                state,
+                reservation_id,
+                int(n_releases),
+                epsilon=float(epsilon),
+                mechanism=mechanism,
+                quilt_signature=quilt_signature,
+                rdp_curve=rdp_curve,
+            )
+            records[idempotency_key] = {
+                "response": response,
+                "reservation_id": reservation_id,
+                "n_releases": int(n_releases),
+                "epsilon": float(epsilon),
+                "created_at": time.time(),
+            }
+            return response, False
+
+        return self.store.run(self.tenant, handler)
+
+    def idempotent_response(self, idempotency_key: str) -> Any:
+        """The stored response for a key, or ``None`` if unseen.
+
+        A lock-free **fast path** for retry handling — it can save the
+        reserve/draw work on an obvious replay, but only
+        :meth:`consume_idempotent` is authoritative (a concurrent original
+        may commit right after this returns ``None``).
+        """
+        state = self.store.peek(self.tenant)
+        if state is None:
+            return None
+        record = state.get("idempotency", {}).get(idempotency_key)
+        return None if record is None else record["response"]
+
+    def _consume_in_state(
+        self,
+        state: Mapping,
+        reservation_id: str,
+        n_releases: int,
+        *,
+        epsilon: float,
+        mechanism: str,
+        quilt_signature: Hashable,
+        rdp_curve: "RdpCurve | None",
+    ) -> Reservation:
+        """The consume core, applied to an in-transaction state dict."""
+        entry = state["reservations"].get(reservation_id)
+        if entry is None:
+            raise UnknownReservationError(
+                f"tenant {self.tenant!r} has no outstanding reservation "
+                f"{reservation_id!r} (already released, or expired past "
+                f"the {self.reservation_ttl}s TTL)"
+            )
+        if float(epsilon) != entry["epsilon"]:
+            raise ReservationError(
+                f"reservation {reservation_id!r} holds epsilon="
+                f"{entry['epsilon']:g} per release, cannot consume at "
+                f"epsilon={epsilon:g}"
+            )
+        remaining = entry["n_reserved"] - entry["n_consumed"]
+        if n_releases > remaining:
+            raise ReservationError(
+                f"reservation {reservation_id!r} has {remaining} "
+                f"release(s) left, cannot consume {n_releases}; reserve "
+                f"a larger sub-budget or open a new session"
+            )
+        accountant = accountant_from_state(state["accountant"])
+        accountant.record_many(
+            int(n_releases),
+            float(epsilon),
+            mechanism=mechanism,
+            quilt_signature=quilt_signature,
+            rdp_curve=rdp_curve,
+        )
+        entry["n_consumed"] += int(n_releases)
+        state["accountant"] = accountant.state_dict()
+        return Reservation(
+            self.tenant,
+            reservation_id,
+            entry["epsilon"],
+            entry["n_reserved"],
+            entry["n_consumed"],
+        )
 
     def release_unused(self, reservation_id: str) -> int:
         """Return a reservation's unconsumed remainder to the tenant budget.
 
         Idempotent-by-absence: an unknown (already released or expired) id
         returns 0 instead of raising, so session close paths can always
-        call it unconditionally.
+        call it unconditionally — and a retrying store wrapper can re-run
+        the cycle without minting budget.
         """
-        with self.store.transact(self.tenant) as txn:
+        fire(
+            "tenant.release_unused",
+            tenant=self.tenant,
+            reservation_id=reservation_id,
+        )
+
+        def handler(txn: LedgerTransaction) -> int:
             state = self._require(txn.state)
             entry = state["reservations"].pop(reservation_id, None)
             if entry is None:
                 return 0
             return int(entry["n_reserved"] - entry["n_consumed"])
+
+        return self.store.run(self.tenant, handler)
+
+    # -- recovery ----------------------------------------------------------
+    def sweep(self, *, now: "float | None" = None) -> dict:
+        """Reconcile this tenant's ledger in one transaction.
+
+        Reclaims every reservation past ``reservation_ttl`` (returning its
+        unconsumed remainder to the budget — the consumed part was debited
+        durably and stays spent) and prunes idempotency records past
+        ``idempotency_ttl``.  This is the *recovery sweep*: run it at
+        service startup and after killing workers, and no orphaned
+        reservation outlives its TTL plus one sweep.  Returns reclaim
+        stats; a no-op sweep returns zeros.
+        """
+        fire("tenant.sweep", tenant=self.tenant)
+
+        def handler(txn: LedgerTransaction) -> dict:
+            state = self._require(txn.state)
+            reservations = state["reservations"]
+            expired = self._expired_ids(state, now=now)
+            reclaimed_releases = 0
+            reclaimed_epsilon = 0.0
+            for rid in expired:
+                entry = reservations.pop(rid)
+                remainder = entry["n_reserved"] - entry["n_consumed"]
+                reclaimed_releases += int(remainder)
+                reclaimed_epsilon += remainder * entry["epsilon"]
+            records = state.setdefault("idempotency", {})
+            pruned = 0
+            if self.idempotency_ttl is not None:
+                cutoff = (time.time() if now is None else now) - self.idempotency_ttl
+                for key in [
+                    key
+                    for key, record in records.items()
+                    if record["created_at"] < cutoff
+                ]:
+                    del records[key]
+                    pruned += 1
+            return {
+                "tenant": self.tenant,
+                "expired_reservations": len(expired),
+                "reclaimed_releases": reclaimed_releases,
+                "reclaimed_epsilon": reclaimed_epsilon,
+                "pruned_idempotency_records": pruned,
+                "outstanding_reservations": len(reservations),
+            }
+
+        return self.store.run(self.tenant, handler)
 
     # -- reads -------------------------------------------------------------
     def accountant(self) -> BaseAccountant:
@@ -351,6 +581,7 @@ class TenantLedger:
             "n_reservations": len(reservations),
             "reserved_releases": outstanding,
             "reserved_epsilon": reserved_epsilon,
+            "idempotency_records": len(state.get("idempotency", {})),
         }
         if isinstance(accountant, RenyiAccountant):
             snapshot["delta"] = accountant.delta
@@ -373,16 +604,20 @@ class TenantLedger:
         fails loudly with :class:`~repro.exceptions.
         UnknownReservationError` rather than silently re-admitting.
         """
+        for rid in self._expired_ids(state):
+            del state["reservations"][rid]
+
+    def _expired_ids(
+        self, state: Mapping, *, now: "float | None" = None
+    ) -> "list[str]":
         if self.reservation_ttl is None:
-            return
-        now = time.time()
-        reservations = state["reservations"]
-        for rid in [
+            return []
+        now = time.time() if now is None else now
+        return [
             rid
-            for rid, r in reservations.items()
+            for rid, r in state["reservations"].items()
             if now - r["created_at"] > self.reservation_ttl
-        ]:
-            del reservations[rid]
+        ]
 
 
 _ATOL = 1e-12  # same float-sum slack as the in-memory accountants

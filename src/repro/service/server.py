@@ -20,37 +20,99 @@ from repro.service.app import AsgiApp
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Cap on how much of a refused request's unsent body we read-and-discard
+#: before closing (see :func:`_refuse`); a hair above the body limit so a
+#: just-oversized upload is fully drained.
+_MAX_DISCARD_BYTES = 2 * _MAX_BODY_BYTES
+#: How long to wait for a slow client's trailing body bytes while draining.
+_DISCARD_TIMEOUT_S = 0.5
+#: How long the client gets to deliver the full header block (slowloris
+#: guard); generous, because legitimate clients send headers in one write.
+_HEADER_TIMEOUT_S = 30.0
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     410: "Gone",
+    413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 
+async def _refuse(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+) -> None:
+    """Refuse a request so the client actually *sees* the refusal.
+
+    Early-error paths (bad request line, oversized body/headers) respond
+    before reading the request body.  Writing the error and closing
+    immediately is not enough: unread bytes pending in the socket make the
+    kernel reset the connection (RST) on close, which can discard the
+    response before the client reads it — the client then reports a broken
+    pipe instead of the 413 we sent.  So: write, drain, then read-and-
+    discard the remaining request bytes (bounded in size and time) before
+    the caller closes the connection.
+    """
+    writer.write(_plain_response(status, body))
+    try:
+        await writer.drain()
+        discarded = 0
+        while discarded < _MAX_DISCARD_BYTES:
+            chunk = await asyncio.wait_for(
+                reader.read(64 * 1024), _DISCARD_TIMEOUT_S
+            )
+            if not chunk:
+                break
+            discarded += len(chunk)
+    except (ConnectionError, OSError, asyncio.TimeoutError):
+        pass  # peer vanished or stalled; nothing further owed
+
+
 async def _handle_connection(
-    app: AsgiApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    app: AsgiApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    header_timeout: "float | None" = _HEADER_TIMEOUT_S,
 ) -> None:
     try:
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            head_read = reader.readuntil(b"\r\n\r\n")
+            if header_timeout is not None:
+                head = await asyncio.wait_for(head_read, header_timeout)
+            else:
+                head = await head_read
+        except asyncio.TimeoutError:
+            await _refuse(
+                reader, writer, 408, b'{"error": "HeaderReadTimeout"}'
+            )
             return
+        except asyncio.LimitOverrunError:
+            # Headers overran the stream buffer limit (64 KiB by default):
+            # same refusal as an explicitly oversized header block.
+            await _refuse(reader, writer, 431, b'{"error": "HeadersTooLarge"}')
+            return
+        except asyncio.IncompleteReadError:
+            return  # client hung up mid-headers; nothing to answer
         if len(head) > _MAX_HEADER_BYTES:
-            writer.write(_plain_response(431, b'{"error": "HeadersTooLarge"}'))
+            await _refuse(reader, writer, 431, b'{"error": "HeadersTooLarge"}')
             return
         lines = head.decode("latin-1").split("\r\n")
         try:
             method, target, _version = lines[0].split(" ", 2)
         except ValueError:
-            writer.write(_plain_response(400, b'{"error": "BadRequestLine"}'))
+            await _refuse(reader, writer, 400, b'{"error": "BadRequestLine"}')
             return
         headers: list[tuple[bytes, bytes]] = []
         content_length = 0
@@ -65,16 +127,21 @@ async def _handle_connection(
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    writer.write(
-                        _plain_response(400, b'{"error": "BadContentLength"}')
+                    await _refuse(
+                        reader, writer, 400, b'{"error": "BadContentLength"}'
                     )
                     return
         if content_length > _MAX_BODY_BYTES:
-            writer.write(_plain_response(413, b'{"error": "BodyTooLarge"}'))
+            await _refuse(reader, writer, 413, b'{"error": "BodyTooLarge"}')
             return
-        body = (
-            await reader.readexactly(content_length) if content_length else b""
-        )
+        try:
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+        except asyncio.IncompleteReadError:
+            return  # client hung up mid-body; nothing to answer
 
         path, _, query = target.partition("?")
         peer = writer.get_extra_info("peername") or ("", 0)
@@ -142,11 +209,19 @@ def _plain_response(status: int, body: bytes) -> bytes:
 
 
 async def serve_async(
-    app: AsgiApp, host: str = "127.0.0.1", port: int = 8787
+    app: AsgiApp,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    header_timeout: "float | None" = _HEADER_TIMEOUT_S,
 ) -> "asyncio.AbstractServer":
     """Start serving and return the listening server (caller owns the loop)."""
     return await asyncio.start_server(
-        lambda r, w: _handle_connection(app, r, w), host, port
+        lambda r, w: _handle_connection(
+            app, r, w, header_timeout=header_timeout
+        ),
+        host,
+        port,
     )
 
 

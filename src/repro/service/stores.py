@@ -47,7 +47,10 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.exceptions import ValidationError
+from repro.faults import fire
 from repro.utils.filelock import InterProcessLock
+
+from typing import Callable
 
 
 class LedgerTransaction:
@@ -94,6 +97,21 @@ class LedgerStore(ABC):
     def tenants(self) -> list[str]:
         """Sorted names of every tenant with persisted state."""
 
+    def run(self, tenant: str, fn: "Callable[[LedgerTransaction], Any]") -> Any:
+        """Run ``fn`` inside one :meth:`transact` cycle; return its result.
+
+        The functional twin of :meth:`transact` — and the retryable one:
+        because the whole read-decide-write cycle is a closure, a wrapper
+        (:class:`~repro.service.retry.RetryingLedgerStore`) can re-run it
+        after a transient failure, which a ``with`` block's inline body
+        cannot be.  ``fn`` must therefore tolerate re-execution from a
+        fresh read; ledger handlers do (their effects are pure functions
+        of the state they are handed, and the exactly-once protections —
+        idempotency keys, reservation ids — live *in* that state).
+        """
+        with self.transact(tenant) as txn:
+            return fn(txn)
+
     def close(self) -> None:
         """Release backend resources (connections, handles).  Idempotent."""
 
@@ -115,11 +133,14 @@ class InMemoryLedgerStore(LedgerStore):
     @contextlib.contextmanager
     def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
         with self._lock:
+            fire("ledger.memory.read", tenant=tenant)
             raw = self._states.get(tenant)
             txn = LedgerTransaction(tenant, None if raw is None else json.loads(raw))
             yield txn
             if txn.state is not None:
+                fire("ledger.memory.commit", tenant=tenant)
                 self._states[tenant] = json.dumps(txn.state)
+                fire("ledger.memory.commit.after", tenant=tenant)
 
     def peek(self, tenant: str) -> "dict[str, Any] | None":
         with self._lock:
@@ -148,6 +169,11 @@ class JSONFileLedgerStore(LedgerStore):
         self._lock_path = Path(str(self.path) + ".lock")
         self._lock_timeout = float(lock_timeout)
         self._thread_lock = threading.RLock()
+        self._closed = False
+
+    @property
+    def lock_timeout(self) -> float:
+        return self._lock_timeout
 
     def _read(self) -> dict[str, Any]:
         try:
@@ -168,29 +194,72 @@ class JSONFileLedgerStore(LedgerStore):
 
     def _write(self, states: dict[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Any temp file matching our prefix belongs to a *dead* transaction
+        # (live writers hold the inter-process lock we are inside), so a
+        # crash between mkstemp and os.replace never accumulates garbage
+        # past the next successful commit.
+        self._sweep_orphans()
         handle, temp_path = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(handle, "w") as stream:
                 json.dump(states, stream)
+            fire("ledger.json.commit.replace", path=str(self.path))
             os.replace(temp_path, self.path)
-        except BaseException:
-            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
-                os.unlink(temp_path)
+        except BaseException as error:
+            # A *simulated crash* must leave the temp file behind exactly
+            # as a power loss would — the orphan sweep above is what cleans
+            # it up; unlinking here would untest that path.
+            if not getattr(error, "simulates_crash", False):
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
             raise
+
+    def _sweep_orphans(self) -> None:
+        """Unlink temp files crashed writers left beside the store (called
+        with the inter-process lock held)."""
+        for orphan in self.path.parent.glob(f"{self.path.name}*.tmp"):
+            with contextlib.suppress(OSError):
+                orphan.unlink()
 
     @contextlib.contextmanager
     def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
-        with self._thread_lock, InterProcessLock(
-            self._lock_path, timeout=self._lock_timeout
-        ):
-            states = self._read()
-            txn = LedgerTransaction(tenant, states.get(tenant))
-            yield txn
-            if txn.state is not None:
-                states[tenant] = txn.state
-                self._write(states)
+        with self._thread_lock:
+            if self._closed:
+                raise ValidationError(
+                    f"ledger store {self.path} is closed; open a new store"
+                )
+            fire("ledger.json.read", tenant=tenant, path=str(self.path))
+            with InterProcessLock(
+                self._lock_path, timeout=self._lock_timeout
+            ):
+                states = self._read()
+                txn = LedgerTransaction(tenant, states.get(tenant))
+                yield txn
+                if txn.state is not None:
+                    fire("ledger.json.commit", tenant=tenant, path=str(self.path))
+                    states[tenant] = txn.state
+                    self._write(states)
+                    fire(
+                        "ledger.json.commit.after",
+                        tenant=tenant,
+                        path=str(self.path),
+                    )
+
+    def close(self) -> None:
+        """Refuse new transactions; in-flight ones finish normally.
+
+        Safe with a transaction in flight: callers on other threads are
+        waited out (the thread lock serializes us behind them), a caller on
+        *this* thread (the lock is reentrant) keeps its already-admitted
+        transaction, and either way the per-transaction
+        :class:`~repro.utils.filelock.InterProcessLock` is released by its
+        own ``with`` block — never stranding the lock sidecar for other
+        processes to wait out.  Idempotent.
+        """
+        with self._thread_lock:
+            self._closed = True
 
     def peek(self, tenant: str) -> "dict[str, Any] | None":
         # Lock-free: os.replace is atomic, so this sees a committed file.
@@ -224,6 +293,10 @@ class SQLiteLedgerStore(LedgerStore):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._thread_lock = threading.RLock()
+        self._closed = False
+        self._close_pending = False
+        self._txn_depth = 0
+        self.busy_timeout_s = float(busy_timeout_s)
         # Autocommit mode: transaction boundaries are explicit BEGIN/COMMIT,
         # never implicitly opened by the driver mid-cycle.
         self._conn = sqlite3.connect(
@@ -236,26 +309,56 @@ class SQLiteLedgerStore(LedgerStore):
     @contextlib.contextmanager
     def transact(self, tenant: str) -> Iterator[LedgerTransaction]:
         with self._thread_lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                row = self._conn.execute(
-                    "SELECT state FROM tenant_ledgers WHERE tenant = ?",
-                    (tenant,),
-                ).fetchone()
-                txn = LedgerTransaction(
-                    tenant, None if row is None else json.loads(row[0])
+            if self._closed or self._close_pending:
+                raise ValidationError(
+                    f"ledger store {self.path} is closed; open a new store"
                 )
-                yield txn
-                if txn.state is not None:
-                    self._conn.execute(
-                        "INSERT INTO tenant_ledgers (tenant, state) VALUES (?, ?) "
-                        "ON CONFLICT (tenant) DO UPDATE SET state = excluded.state",
-                        (tenant, json.dumps(txn.state)),
+            self._txn_depth += 1
+            try:
+                fire("ledger.sqlite.begin", tenant=tenant, path=str(self.path))
+                self._conn.execute("BEGIN IMMEDIATE")
+                committed = False
+                try:
+                    row = self._conn.execute(
+                        "SELECT state FROM tenant_ledgers WHERE tenant = ?",
+                        (tenant,),
+                    ).fetchone()
+                    txn = LedgerTransaction(
+                        tenant, None if row is None else json.loads(row[0])
                     )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+                    yield txn
+                    if txn.state is not None:
+                        fire(
+                            "ledger.sqlite.commit",
+                            tenant=tenant,
+                            path=str(self.path),
+                        )
+                        self._conn.execute(
+                            "INSERT INTO tenant_ledgers (tenant, state) VALUES (?, ?) "
+                            "ON CONFLICT (tenant) DO UPDATE SET state = excluded.state",
+                            (tenant, json.dumps(txn.state)),
+                        )
+                    self._conn.execute("COMMIT")
+                    committed = True
+                    fire(
+                        "ledger.sqlite.commit.after",
+                        tenant=tenant,
+                        path=str(self.path),
+                    )
+                except BaseException:
+                    # Roll back only an open transaction: a post-COMMIT
+                    # fault (or a close()d connection) must not shadow the
+                    # real error with "no transaction is active".
+                    if not committed:
+                        with contextlib.suppress(sqlite3.Error):
+                            self._conn.execute("ROLLBACK")
+                    raise
+            finally:
+                self._txn_depth -= 1
+                if self._close_pending and self._txn_depth == 0:
+                    self._close_pending = False
+                    self._closed = True
+                    self._conn.close()
 
     def peek(self, tenant: str) -> "dict[str, Any] | None":
         with self._thread_lock:
@@ -272,7 +375,22 @@ class SQLiteLedgerStore(LedgerStore):
             return [row[0] for row in rows]
 
     def close(self) -> None:
+        """Close the connection; idempotent and safe mid-transact.
+
+        A close racing an in-flight transaction on another thread would
+        normally poison that transaction's COMMIT/ROLLBACK with
+        ``ProgrammingError: Cannot operate on a closed database``.  Instead
+        the close is *deferred*: new transactions are refused immediately,
+        and the connection is actually closed by the last in-flight
+        transaction on its way out (see :meth:`transact`'s ``finally``).
+        """
         with self._thread_lock:
+            if self._closed or self._close_pending:
+                return
+            if self._txn_depth > 0:
+                self._close_pending = True
+                return
+            self._closed = True
             self._conn.close()
 
 

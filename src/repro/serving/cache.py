@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterator
 from repro.core.laplace import Calibration, Mechanism
 from repro.core.queries import Query
 from repro.exceptions import ValidationError
+from repro.faults import fire
 from repro.serving.fingerprint import cache_key
 from repro.utils.filelock import InterProcessLock
 
@@ -204,23 +205,36 @@ class JSONFileCache(CacheBackend):
             self._flush_locked(merge=True)
 
     def _flush_locked(self, *, merge: bool = False) -> None:
+        fire("cache.flush", path=str(self.path))
         if merge and self.path.exists():
             # Pick up entries other processes persisted since our last read;
             # our own entries win (values for a shared key are identical by
             # construction — content-keyed, deterministic computation).
             self._read_disk_locked()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Temp files matching our prefix belong to writers that died between
+        # mkstemp and os.replace (live ones hold the file lock we are inside)
+        # — sweep them so a crash never accumulates garbage past the next
+        # successful flush.
+        for orphan in self.path.parent.glob(f"{self.path.name}*.tmp"):
+            with contextlib.suppress(OSError):
+                orphan.unlink()
         handle, temp_path = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(handle, "w") as stream:
                 json.dump(self._entries, stream)
+            fire("cache.flush.replace", path=str(self.path))
             os.replace(temp_path, self.path)
             self._disk_stat = self._stat()
-        except BaseException:
-            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
-                os.unlink(temp_path)
+            fire("cache.flush.after", path=str(self.path))
+        except BaseException as error:
+            # A *simulated* crash must leave the temp file behind exactly as
+            # a real one would — the orphan sweep above is what reclaims it.
+            if not getattr(error, "simulates_crash", False):
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
             raise
 
     def __len__(self) -> int:

@@ -50,6 +50,9 @@ class LockTimeoutError(ReproError, TimeoutError):
     """
 
     http_status = 503  # transient contention; the client may retry
+    #: Default retry hint; the raise site overrides it with the actual
+    #: configured lock timeout (the bound on a healthy holder's tenure).
+    retry_after = 1.0
 
 
 class InterProcessLock:
@@ -121,11 +124,13 @@ class InterProcessLock:
             except FileExistsError:
                 self._break_if_stale()
                 if time.monotonic() >= deadline:
-                    raise LockTimeoutError(
+                    error = LockTimeoutError(
                         f"could not acquire lock file {self.path} within "
                         f"{self.timeout:g}s (held by another process? a stale "
                         f"holder is broken after {self.stale_ttl:g}s)"
                     )
+                    error.retry_after = self.timeout
+                    raise error
                 time.sleep(self.poll_interval)
                 continue
             with os.fdopen(fd, "w") as stream:

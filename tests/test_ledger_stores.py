@@ -155,3 +155,83 @@ def test_store_from_path_dispatch(tmp_path, path, expected):
         assert isinstance(store, expected)
     finally:
         store.close()
+
+
+# -- close(): idempotent, safe mid-transact ---------------------------------
+def test_close_is_idempotent(store):
+    store.close()
+    store.close()  # second close must be a no-op, not an error
+
+
+def test_closed_durable_store_refuses_new_transactions(store):
+    if isinstance(store, InMemoryLedgerStore):
+        pytest.skip("the in-memory store has nothing to close")
+    store.close()
+    with pytest.raises(ValidationError, match="closed"):
+        with store.transact("acme"):
+            pass
+
+
+def test_close_during_transact_lets_the_commit_finish(store):
+    """close() racing an in-flight transaction: the transaction commits
+    (its atomicity is the whole point), only *new* ones are refused."""
+    if isinstance(store, InMemoryLedgerStore):
+        pytest.skip("the in-memory store has nothing to close")
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1}
+        store.close()  # mid-transaction: must not poison the commit
+    with pytest.raises(ValidationError, match="closed"):
+        with store.transact("acme"):
+            pass
+    # The commit landed: a fresh store on the same path sees it.
+    if isinstance(store, SQLiteLedgerStore):
+        reborn = SQLiteLedgerStore(store.path)
+    else:
+        reborn = JSONFileLedgerStore(store.path)
+    try:
+        assert reborn.peek("acme") == {"n": 1}
+    finally:
+        reborn.close()
+
+
+def test_sqlite_close_from_another_thread_waits_for_commit(tmp_path):
+    store = SQLiteLedgerStore(tmp_path / "ledgers.sqlite")
+    entered = threading.Event()
+    release = threading.Event()
+
+    def writer() -> None:
+        with store.transact("acme") as txn:
+            txn.state = {"n": 7}
+            entered.set()
+            release.wait(timeout=10)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    assert entered.wait(timeout=10)
+    closer = threading.Thread(target=store.close)
+    closer.start()
+    release.set()
+    thread.join(timeout=10)
+    closer.join(timeout=10)
+    # The writer's commit survived the concurrent close.
+    reborn = SQLiteLedgerStore(tmp_path / "ledgers.sqlite")
+    try:
+        assert reborn.peek("acme") == {"n": 7}
+    finally:
+        reborn.close()
+
+
+def test_json_close_never_strands_the_lock_sidecar(tmp_path):
+    store = JSONFileLedgerStore(tmp_path / "ledgers.json")
+    with store.transact("acme") as txn:
+        txn.state = {"n": 1}
+        store.close()
+    # Another store (process) on the same path can transact immediately —
+    # the per-transaction inter-process lock was released, not stranded.
+    other = JSONFileLedgerStore(tmp_path / "ledgers.json", lock_timeout=2.0)
+    try:
+        with other.transact("acme") as txn:
+            txn.state["n"] += 1
+        assert other.peek("acme") == {"n": 2}
+    finally:
+        other.close()

@@ -1,0 +1,135 @@
+"""The stdlib HTTP server's refusal paths, observed from a real socket.
+
+The regression these tests pin down: an early refusal (oversized body,
+oversized headers, bad request line) used to write its response and close
+while the client's unread request bytes were still pending — the kernel
+then RSTs the connection and the client sees a broken pipe instead of the
+413/431 the server meant to send.  The fix (``_refuse``) drains the
+response and discards the remaining request before closing, so every
+refusal below must be *readable by the client*, byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import create_app
+from repro.service.server import (
+    _MAX_BODY_BYTES,
+    _MAX_HEADER_BYTES,
+    serve_async,
+)
+
+
+@pytest.fixture()
+def live_server():
+    app = create_app()
+    ports: list[int] = []
+    stop = threading.Event()
+
+    def run() -> None:
+        async def main() -> None:
+            server = await serve_async(app, "127.0.0.1", 0, header_timeout=5.0)
+            ports.append(server.sockets[0].getsockname()[1])
+            async with server:
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while not ports and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert ports, "server never came up"
+    yield ports[0]
+    stop.set()
+    thread.join(timeout=10)
+    app.service.close()
+
+
+def _raw_request(port: int, payload: bytes, *, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, read the full response (until server close)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def _status_and_body(response: bytes) -> "tuple[int, dict]":
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+def test_oversized_body_receives_413(live_server):
+    """The client must actually READ the 413 — not a reset connection."""
+    content_length = _MAX_BODY_BYTES + 1
+    head = (
+        f"POST /tenants/acme/release HTTP/1.1\r\n"
+        f"host: localhost\r\ncontent-length: {content_length}\r\n\r\n"
+    ).encode()
+    oversized = head + b"x" * content_length
+    response = _raw_request(live_server, oversized)
+    status, body = _status_and_body(response)
+    assert status == 413
+    assert body == {"error": "BodyTooLarge"}
+
+
+def test_oversized_headers_receive_431(live_server):
+    filler = b"x-filler: " + b"f" * (_MAX_HEADER_BYTES + 1024) + b"\r\n"
+    request = b"GET /health HTTP/1.1\r\nhost: localhost\r\n" + filler + b"\r\n"
+    response = _raw_request(live_server, request)
+    status, body = _status_and_body(response)
+    assert status == 431
+    assert body == {"error": "HeadersTooLarge"}
+
+
+def test_bad_request_line_receives_400(live_server):
+    response = _raw_request(live_server, b"NONSENSE\r\n\r\n")
+    status, body = _status_and_body(response)
+    assert status == 400
+    assert body == {"error": "BadRequestLine"}
+
+
+def test_bad_content_length_receives_400(live_server):
+    request = (
+        b"POST /tenants/a HTTP/1.1\r\nhost: x\r\n"
+        b"content-length: banana\r\n\r\n"
+    )
+    status, body = _status_and_body(_raw_request(live_server, request))
+    assert status == 400
+    assert body == {"error": "BadContentLength"}
+
+
+def test_client_hangup_mid_headers_is_quiet(live_server):
+    # No response owed; the server must simply not wedge.
+    with socket.create_connection(("127.0.0.1", live_server), timeout=5):
+        pass  # connect and immediately hang up
+    # The server still answers the next request.
+    ok = _raw_request(live_server, b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n")
+    status, body = _status_and_body(ok)
+    assert status == 200
+    assert body["status"] == "ok"
+
+
+def test_normal_request_still_round_trips(live_server):
+    request = b"GET /workloads HTTP/1.1\r\nhost: x\r\n\r\n"
+    status, body = _status_and_body(_raw_request(live_server, request))
+    assert status == 200
+    assert {w["name"] for w in body["workloads"]} == {
+        "hub-gaussian",
+        "hub-laplace",
+    }

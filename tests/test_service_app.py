@@ -303,3 +303,196 @@ def test_http_server_round_trip(tmp_path):
         stop.set()
         thread.join(timeout=10)
         app.service.close()
+
+
+# -- Retry-After signalling -------------------------------------------------
+def test_429_with_outstanding_reservations_carries_retry_after(client):
+    _tenant(client, budget=2.0, accountant="linear")
+    sid = client.post(
+        "/tenants/acme/stream", {"workload": "hub-laplace", "n_reserved": 4}
+    ).json()["session_id"]
+    refused = client.post("/tenants/acme/release", {"workload": "hub-laplace"})
+    assert refused.status == 429
+    # The held budget returns by the reservation TTL at the latest, so the
+    # refusal names a horizon: Retry-After header + structured field.
+    assert refused.headers["retry-after"] == "3600"
+    assert refused.json()["retry_after"] == 3600.0
+    client.delete(f"/sessions/{sid}")
+
+
+def test_429_with_nothing_outstanding_is_final(client):
+    _tenant(client, budget=1.0, accountant="linear")
+    refused = client.post(
+        "/tenants/acme/release", {"workload": "hub-laplace", "n": 100}
+    )
+    assert refused.status == 429
+    # No reservation will ever expire to free this budget: no Retry-After.
+    assert "retry-after" not in refused.headers
+    assert "retry_after" not in refused.json()
+
+
+def test_lock_timeout_is_503_with_retry_after():
+    from repro.faults import FaultRule, injected
+
+    app = create_app(retry_policy=False)  # raw store: no transparent retry
+    client = TestClient(app)
+    _tenant(client)
+    with injected(
+        [FaultRule("tenant.reserve", action="error", error="lock_timeout")]
+    ):
+        response = client.post(
+            "/tenants/acme/release", {"workload": "hub-laplace"}
+        )
+    assert response.status == 503
+    assert response.json()["error"] == "LockTimeoutError"
+    assert response.headers["retry-after"] == "1"
+    app.service.close()
+
+
+# -- idempotency keys -------------------------------------------------------
+def test_idempotent_release_debits_once_and_replays(client):
+    _tenant(client, budget=4.0, accountant="linear")
+    body = {"workload": "hub-laplace", "n": 3, "idempotency_key": "req-42"}
+    first = client.post("/tenants/acme/release", body)
+    assert first.status == 200
+    original = first.json()
+    assert original["replayed"] is False
+    assert original["idempotency_key"] == "req-42"
+    spent = original["ledger"]["spent_epsilon"]
+
+    # The client lost the response and retries: same key, one debit, the
+    # original values byte-for-byte.
+    retry = client.post("/tenants/acme/release", body).json()
+    assert retry["replayed"] is True
+    assert retry["values"] == original["values"]
+    assert retry["ledger"]["spent_epsilon"] == spent
+    assert retry["ledger"]["idempotency_records"] == 1
+
+    # A different key is a different request and debits again.
+    other = client.post(
+        "/tenants/acme/release", {**body, "idempotency_key": "req-43"}
+    ).json()
+    assert other["replayed"] is False
+    assert other["ledger"]["spent_epsilon"] == pytest.approx(2 * spent)
+
+
+def test_idempotent_replay_survives_restart(tmp_path):
+    path = str(tmp_path / "ledgers.sqlite")
+    app = create_app(path)
+    client = TestClient(app)
+    _tenant(client)
+    body = {"workload": "hub-laplace", "n": 2, "idempotency_key": "once"}
+    original = client.post("/tenants/acme/release", body).json()
+    app.service.close()
+
+    reborn = TestClient(create_app(path))
+    replay = reborn.post("/tenants/acme/release", body).json()
+    assert replay["replayed"] is True
+    assert replay["values"] == original["values"]
+    assert (
+        replay["ledger"]["spent_epsilon"] == original["ledger"]["spent_epsilon"]
+    )
+    reborn.app.service.close()
+
+
+# -- deadlines and backpressure ---------------------------------------------
+def test_saturated_service_returns_503_immediately(client):
+    app = client.app
+    assert app._slots is not None
+    assert app._slots.acquire(blocking=False)  # hold every slot ourselves
+    held = 1
+    while app._slots.acquire(blocking=False):
+        held += 1
+    try:
+        response = client.get("/health")
+        assert response.status == 503
+        assert response.json()["error"] == "ServiceSaturated"
+        assert response.headers["retry-after"] == "1"
+    finally:
+        for _ in range(held):
+            app._slots.release()
+    assert client.get("/health").status == 200  # slots freed, service back
+
+
+def test_request_deadline_returns_503_timeout():
+    import time
+
+    from repro.faults import FaultRule, injected
+
+    app = create_app(request_timeout=0.05)
+    client = TestClient(app)
+    _tenant(client)
+    with injected(
+        [FaultRule("tenant.reserve", action="latency", delay=0.5)]
+    ):
+        response = client.post(
+            "/tenants/acme/release", {"workload": "hub-laplace"}
+        )
+    assert response.status == 503
+    assert response.json()["error"] == "RequestTimeout"
+    assert response.headers["retry-after"] == "1"
+    time.sleep(0.7)  # let the abandoned worker thread finish cleanly
+    app.service.close()
+
+
+# -- recovery sweep ----------------------------------------------------------
+def test_admin_recover_reclaims_expired_reservations():
+    import time
+
+    app = create_app(reservation_ttl=0.05)
+    client = TestClient(app)
+    _tenant(client, budget=2.0, accountant="linear")
+    client.post(
+        "/tenants/acme/stream", {"workload": "hub-laplace", "n_reserved": 4}
+    )
+    assert client.get("/tenants/acme").json()["reserved_releases"] == 4
+    time.sleep(0.1)  # past the TTL: the session is presumed dead
+    report = client.post("/admin/recover").json()
+    assert report["expired_reservations"] == 1
+    assert report["reclaimed_releases"] == 4
+    assert report["tenants"]["acme"]["outstanding_reservations"] == 0
+    assert client.get("/tenants/acme").json()["reserved_releases"] == 0
+    app.service.close()
+
+
+def test_startup_recovery_sweep_runs(tmp_path):
+    import time
+
+    path = str(tmp_path / "ledgers.json")
+    app = create_app(path, reservation_ttl=0.05)
+    client = TestClient(app)
+    _tenant(client, budget=2.0, accountant="linear")
+    client.post(
+        "/tenants/acme/stream", {"workload": "hub-laplace", "n_reserved": 4}
+    )
+    app.service.store.close()  # simulate abrupt death: session never closed
+    time.sleep(0.1)
+
+    reborn = create_app(path, reservation_ttl=0.05)  # sweeps at construction
+    snapshot = TestClient(reborn).get("/tenants/acme").json()
+    assert snapshot["reserved_releases"] == 0  # stranded budget reclaimed
+    reborn.service.close()
+
+
+# -- fault observability and the 500 catch-all -------------------------------
+def test_admin_faults_reports_injector_state(client):
+    from repro.faults import FaultRule, injected
+
+    assert client.get("/admin/faults").json() == {"installed": False}
+    with injected([FaultRule("no.such.point", action="latency")]):
+        status = client.get("/admin/faults").json()
+    assert status["installed"] is True
+    assert status["rules"][0]["point"] == "no.such.point"
+
+
+def test_unexpected_handler_error_is_500_not_a_crash(client):
+    def boom():
+        raise RuntimeError("wires crossed")
+
+    client.app._routes.append(("GET", ("boom",), boom, False))
+    response = client.get("/boom")
+    assert response.status == 500
+    payload = response.json()
+    assert payload["error"] == "InternalError"
+    assert "RuntimeError" in payload["message"]
+    assert client.get("/health").status == 200  # the app survived
