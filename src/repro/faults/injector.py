@@ -162,7 +162,9 @@ class FaultInjector:
     sessions draw from one global schedule.
 
     ``history`` keeps the last :attr:`max_history` fired events for
-    forensics; :meth:`stats` summarizes counts per point.
+    forensics (``max_history=0`` disables it); :meth:`stats` and
+    :meth:`fired` count from durable per-point counters that never trim,
+    so they stay exact however long a chaos run fires.
     """
 
     def __init__(
@@ -181,7 +183,12 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.max_history = int(max_history)
+        if self.max_history < 0:
+            raise ValidationError(
+                f"max_history must be >= 0, got {max_history}"
+            )
         self.history: list[dict[str, Any]] = []
+        self._fired_per_point: dict[str, int] = {}
 
     @property
     def rules(self) -> list[FaultRule]:
@@ -208,14 +215,19 @@ class FaultInjector:
                 if rule.probability < 1.0 and self._rng.random() >= rule.probability:
                     continue
                 state.fired += 1
+                self._fired_per_point[point] = (
+                    self._fired_per_point.get(point, 0) + 1
+                )
                 event = {
                     "point": point,
                     "action": rule.action,
                     "rule": rule.point,
                     "context": context,
                 }
-                self.history.append(event)
-                del self.history[: -self.max_history]
+                if self.max_history > 0:
+                    self.history.append(event)
+                    if len(self.history) > self.max_history:
+                        del self.history[: -self.max_history]
                 action = (rule, event)
                 break
         if action is None:
@@ -251,12 +263,17 @@ class FaultInjector:
             }
 
     def fired(self, pattern: str = "*") -> int:
-        """Total faults fired at points matching ``pattern``."""
+        """Total faults fired at points matching ``pattern``.
+
+        Counted from durable per-point counters, not the bounded
+        ``history`` buffer — exact even when a long chaos run fires more
+        than :attr:`max_history` faults (or history is disabled).
+        """
         with self._lock:
             return sum(
-                1
-                for event in self.history
-                if fnmatch.fnmatchcase(event["point"], pattern)
+                count
+                for point, count in self._fired_per_point.items()
+                if fnmatch.fnmatchcase(point, pattern)
             )
 
 

@@ -50,6 +50,7 @@ ASGI server, or in-process via :class:`repro.service.testing.TestClient`.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
 import math
 import threading
@@ -510,10 +511,13 @@ _Route = tuple[str, tuple[str, ...], Callable[..., Any], bool]
 class AsgiApp:
     """A dependency-free ASGI 3 application over a :class:`PrivacyService`.
 
-    Handlers are synchronous; each request runs on a worker thread
-    (``asyncio.to_thread``), so slow store transactions never stall the
-    event loop.  Route patterns use ``{name}`` placeholders matched one
-    path segment each.
+    Handlers are synchronous; each request runs on a worker thread from
+    the app's own pool, so slow store transactions never stall the event
+    loop.  The pool is sized to ``max_concurrency`` — one worker per
+    admission slot — so an *admitted* request always has a worker and
+    never sits queued behind the pool (queued work is where a deadline
+    could cancel it before it starts and strand its slot).  Route
+    patterns use ``{name}`` placeholders matched one path segment each.
 
     Two resource guards make overload explicit instead of cascading:
 
@@ -551,6 +555,16 @@ class AsgiApp:
         self.max_concurrency = max_concurrency
         self._slots = (
             threading.BoundedSemaphore(max_concurrency)
+            if max_concurrency is not None
+            else None
+        )
+        # One worker per slot: admitted work can never be queued behind
+        # the pool, where a deadline could cancel it before it starts.
+        self._executor = (
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=max_concurrency,
+                thread_name_prefix="repro-service",
+            )
             if max_concurrency is not None
             else None
         )
@@ -673,7 +687,24 @@ class AsgiApp:
                     if self._slots is not None:
                         self._slots.release()
 
-            coroutine = asyncio.to_thread(guarded, *args)
+            if self._executor is not None:
+                try:
+                    work = self._executor.submit(guarded, *args)
+                except RuntimeError:
+                    # Pool shutting down: the work never ran, so guarded's
+                    # finally cannot give the slot back — do it here.
+                    if self._slots is not None:
+                        self._slots.release()
+                    raise
+                # Exactly one of two paths releases the slot: guarded's
+                # finally (the work ran), or this callback (the work was
+                # cancelled before a worker picked it up, so guarded never
+                # began — a future that ran is never in the cancelled
+                # state, and a cancelled one never runs).
+                work.add_done_callback(self._release_if_never_started)
+                coroutine = asyncio.wrap_future(work)
+            else:
+                coroutine = asyncio.to_thread(guarded, *args)
             if self.request_timeout is not None:
                 result = await asyncio.wait_for(coroutine, self.request_timeout)
             else:
@@ -718,12 +749,28 @@ class AsgiApp:
                 [],
             )
 
+    def _release_if_never_started(self, work: "concurrent.futures.Future") -> None:
+        if work.cancelled() and self._slots is not None:
+            self._slots.release()
+
+    def close(self) -> None:
+        """Shut down the app-owned worker pool (idempotent).
+
+        Queued-but-unstarted work is cancelled (its slots come back via
+        the done-callback); running handlers finish on their threads.
+        Does *not* close the underlying service — that stays the owner's
+        call, as in the lifespan shutdown path.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
     async def _lifespan(self, receive, send) -> None:
         while True:
             message = await receive()
             if message["type"] == "lifespan.startup":
                 await send({"type": "lifespan.startup.complete"})
             elif message["type"] == "lifespan.shutdown":
+                self.close()
                 self.service.close()
                 await send({"type": "lifespan.shutdown.complete"})
                 return

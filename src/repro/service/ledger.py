@@ -57,8 +57,10 @@ LedgerStore.run` (the closure form of ``transact``) and is safe to re-run
 from a fresh read, which is what lets
 :class:`~repro.service.retry.RetryingLedgerStore` retry transient store
 errors end to end: reservation ids are fixed before the cycle starts (a
-re-run overwrites the same entry), consumes with idempotency keys replay,
-and ``release_unused`` is idempotent-by-absence.
+re-run overwrites the same entry), consumes replay — client-supplied
+idempotency keys and the private per-call keys keyless :meth:`TenantLedger.
+consume` mints for itself both persist with the debit — and
+``release_unused`` is idempotent-by-absence.
 """
 
 from __future__ import annotations
@@ -91,6 +93,17 @@ from repro.service.stores import LedgerStore, LedgerTransaction
 #: (Idempotency records were added additively under the ``"idempotency"``
 #: key — absent in old states, defaulted on read — so the version holds.)
 STATE_VERSION = 1
+
+#: Key prefix for the private idempotency records keyless
+#: :meth:`TenantLedger.consume` calls mint to stay replay-safe under a
+#: retrying store wrapper.  ``uuid4`` suffixes make collisions with
+#: client-supplied keys a non-event.
+_RETRY_KEY_PREFIX = "retry."
+
+#: Retry records only need to outlive one retry cycle (seconds, not
+#: hours); consume prunes them opportunistically past this horizon so
+#: they never pile up between recovery sweeps.
+_RETRY_RECORD_TTL = 600.0
 
 
 @dataclass(frozen=True)
@@ -314,6 +327,13 @@ class TenantLedger:
         (drained reservation, epsilon mismatch, or the accountant vetoing a
         mechanism-supplied curve that outgrew the reserved envelope)
         persists nothing.  Returns the reservation's post-consume state.
+
+        Safe to re-run by a retrying store wrapper even without a client
+        idempotency key: each call fixes a private key before the cycle
+        starts and persists it with the debit, so a re-run after a commit
+        that actually landed (the store errored *after* committing)
+        replays the committed result instead of double-debiting — or
+        refusing a debit the tenant already paid for.
         """
         if n_releases < 1:
             raise PrivacyParameterError(
@@ -325,10 +345,23 @@ class TenantLedger:
             reservation_id=reservation_id,
             n_releases=int(n_releases),
         )
+        retry_key = _RETRY_KEY_PREFIX + uuid.uuid4().hex
 
         def handler(txn: LedgerTransaction) -> Reservation:
             state = self._require(txn.state)
-            return self._consume_in_state(
+            records = state.setdefault("idempotency", {})
+            record = records.get(retry_key)
+            if record is not None:
+                stored = record["response"]
+                return Reservation(
+                    self.tenant,
+                    stored["reservation_id"],
+                    stored["epsilon"],
+                    stored["n_reserved"],
+                    stored["n_consumed"],
+                )
+            self._prune_retry_records(records)
+            result = self._consume_in_state(
                 state,
                 reservation_id,
                 int(n_releases),
@@ -337,8 +370,41 @@ class TenantLedger:
                 quilt_signature=quilt_signature,
                 rdp_curve=rdp_curve,
             )
+            records[retry_key] = {
+                "response": {
+                    "reservation_id": result.reservation_id,
+                    "epsilon": result.epsilon,
+                    "n_reserved": result.n_reserved,
+                    "n_consumed": result.n_consumed,
+                },
+                "reservation_id": reservation_id,
+                "n_releases": int(n_releases),
+                "epsilon": float(epsilon),
+                "created_at": time.time(),
+            }
+            return result
 
         return self.store.run(self.tenant, handler)
+
+    def _prune_retry_records(self, records: "dict[str, Any]") -> None:
+        """Drop expired auto-generated retry records (in-transaction).
+
+        Keyless consumes mint one record each; without this opportunistic
+        pruning a service that never runs :meth:`sweep` would grow state
+        without bound.  Client-supplied keys are left for :meth:`sweep` —
+        they must survive the full client retry horizon.
+        """
+        ttl = _RETRY_RECORD_TTL
+        if self.idempotency_ttl is not None:
+            ttl = min(ttl, self.idempotency_ttl)
+        cutoff = time.time() - ttl
+        for key in [
+            key
+            for key, record in records.items()
+            if key.startswith(_RETRY_KEY_PREFIX)
+            and record["created_at"] < cutoff
+        ]:
+            del records[key]
 
     def consume_idempotent(
         self,

@@ -244,4 +244,5 @@ def serve(app: AsgiApp, host: str = "127.0.0.1", port: int = 8787) -> None:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        app.close()
         app.service.close()

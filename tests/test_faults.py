@@ -87,6 +87,37 @@ def test_fnmatch_patterns_and_context_history():
     assert stats["rules"][0]["hits"] == 3
 
 
+def test_fired_counts_stay_exact_past_history_bound():
+    # fired() must come from durable counters, not the trimmed history —
+    # a long chaos run that overflows max_history still counts exactly.
+    injector = FaultInjector(
+        [FaultRule("p", action="latency", delay=0.0, times=None)],
+        max_history=5,
+    )
+    for _ in range(20):
+        injector.fire("p")
+    assert len(injector.history) == 5
+    assert injector.fired("p") == 20
+    assert injector.fired() == 20
+    assert injector.stats()["total_fired"] == 20
+
+
+def test_zero_max_history_disables_history_not_counts():
+    injector = FaultInjector(
+        [FaultRule("p", action="latency", delay=0.0, times=None)],
+        max_history=0,
+    )
+    for _ in range(3):
+        injector.fire("p")
+    assert injector.history == []
+    assert injector.fired("p") == 3
+
+
+def test_negative_max_history_is_rejected():
+    with pytest.raises(ValidationError):
+        FaultInjector([], max_history=-1)
+
+
 def test_after_skips_initial_hits():
     injector = FaultInjector([FaultRule("p", after=2)])
     injector.fire("p")
@@ -274,6 +305,32 @@ def test_retry_run_replays_whole_cycle_after_commit_fault():
     assert response == {"values": [1, 2, 3]}
     assert replayed is True
     assert ledger.snapshot()["spent_epsilon"] == pytest.approx(3.0)
+
+
+def test_retry_run_replays_keyless_consume_after_commit_fault():
+    # A transient error *after* the commit landed must not double-debit a
+    # keyless consume: the private per-call idempotency key turns the
+    # wrapper's whole-cycle re-run into a replay of the committed result.
+    store = RetryingLedgerStore(
+        InMemoryLedgerStore(), RetryPolicy(max_attempts=4), sleep=lambda _s: None
+    )
+    ledger = _ledger(store)
+    reservation = ledger.reserve(4, 1.0)
+    with injected(
+        [FaultRule("ledger.memory.commit.after", error="io", times=1)]
+    ):
+        after = ledger.consume(reservation.reservation_id, 2, epsilon=1.0)
+    assert (after.n_consumed, after.n_remaining) == (2, 2)
+    assert ledger.snapshot()["spent_epsilon"] == pytest.approx(2.0)
+
+    # Draining flavor: without the key, the re-run would find 0 releases
+    # left and raise ReservationError while the budget was already spent.
+    with injected(
+        [FaultRule("ledger.memory.commit.after", error="io", times=1)]
+    ):
+        final = ledger.consume(reservation.reservation_id, 2, epsilon=1.0)
+    assert (final.n_consumed, final.n_remaining) == (4, 0)
+    assert ledger.snapshot()["spent_epsilon"] == pytest.approx(4.0)
 
 
 def test_with_retries_is_idempotent():

@@ -435,6 +435,31 @@ def test_request_deadline_returns_503_timeout():
     app.service.close()
 
 
+def test_timeout_of_queued_request_does_not_leak_slots():
+    # Regression: a request that was admitted (slot held) but whose work
+    # item was cancelled by the deadline before any worker picked it up
+    # used to leak its slot permanently — enough leaks saturated the
+    # service into an unrecoverable 503 ServiceSaturated.
+    app = create_app(request_timeout=0.05, max_concurrency=2)
+    client = TestClient(app)
+    gate = threading.Event()
+    # Occupy every pool worker from outside the slot system, forcing
+    # admitted requests to queue exactly as an undersized pool would.
+    blockers = [app._executor.submit(gate.wait) for _ in range(2)]
+    try:
+        for _ in range(2):
+            response = client.get("/health")
+            assert response.status == 503
+            assert response.json()["error"] == "RequestTimeout"
+    finally:
+        gate.set()
+    for blocker in blockers:
+        blocker.result(timeout=5)
+    # Every slot must be back; a leak would 503 ServiceSaturated forever.
+    assert client.get("/health").status == 200
+    app.service.close()
+
+
 # -- recovery sweep ----------------------------------------------------------
 def test_admin_recover_reclaims_expired_reservations():
     import time
