@@ -84,7 +84,7 @@ def chaos_report(tmp_path_factory):
         clean_served, clean_seconds = _drain(store, "clean")
 
         # -- armed-but-idle: injector installed, rules never match ---------
-        idle_rules = [FaultRule("no.such.point", error="io", times=None)]
+        idle_rules = [FaultRule("no.such.point", error="io", times=None)]  # repro-lint: disable=R5 -- deliberately unmatched: measures armed-but-idle overhead
         with injected(idle_rules, seed=0):
             idle_served, idle_seconds = _drain(store, "idle")
 

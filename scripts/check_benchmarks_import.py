@@ -33,6 +33,25 @@ REQUIRED = frozenset(
 )
 
 
+#: Modules that must import with **numpy blocked** — the stdlib-only
+#: tooling floor.  These run in a bare CI container before dependencies
+#: install (``python -m repro lint``, fault-injection arming), so a
+#: stray numpy import at any of their module levels is a regression.
+STDLIB_ONLY = frozenset(
+    {
+        "repro",
+        "repro.exceptions",
+        "repro.faults",
+        "repro.faults.points",
+        "repro.staticcheck",
+        "repro.staticcheck.cli",
+        "repro.staticcheck.rules",
+        "repro.utils.filelock",
+        "repro.__main__",
+    }
+)
+
+
 def benchmark_modules() -> list[str]:
     """Dotted module names for every ``benchmarks/*.py`` file."""
     return sorted(
@@ -42,12 +61,40 @@ def benchmark_modules() -> list[str]:
     )
 
 
+def check_stdlib_only_imports() -> int:
+    """Import every :data:`STDLIB_ONLY` module in a numpy-less subprocess.
+
+    Blocking is simulated by pre-seeding ``sys.modules['numpy'] = None``
+    (the stdlib convention: importing a ``None`` entry raises
+    ``ImportError``), which behaves exactly like the module being absent.
+    """
+    import os
+    import subprocess
+
+    probe = (
+        "import sys; sys.modules['numpy'] = None; import importlib; "
+        f"[importlib.import_module(m) for m in {sorted(STDLIB_ONLY)!r}]; "
+        "print('stdlib-only floor imports cleanly without numpy')"
+    )
+    env = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    result = subprocess.run(
+        [sys.executable, "-c", probe], env=env, capture_output=True, text=True
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        print("FAIL: stdlib-only floor pulled in numpy (or failed to import)")
+    return result.returncode
+
+
 def main() -> int:
     # The repo root (for the ``benchmarks`` namespace package) and ``src``
     # (for ``repro``) must both be importable, however the script is invoked.
     for entry in (str(ROOT), str(ROOT / "src")):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    if check_stdlib_only_imports() != 0:
+        return 1
     missing = REQUIRED - set(benchmark_modules())
     if missing:
         print(f"required benchmark module(s) missing from benchmarks/: {sorted(missing)}")

@@ -24,116 +24,121 @@ Public API highlights
   :class:`~repro.core.gaussian.GaussianMarkovQuiltMechanism` as the
   Gaussian-noise MQM variant built for the Rényi regime.
 
+Lazy imports
+------------
+The public names resolve on first attribute access (PEP 562) instead of
+at import: ``import repro`` must work in a container with **no numpy**
+so the stdlib-only tooling (``python -m repro lint``,
+:mod:`repro.staticcheck`, :mod:`repro.faults`) can run before
+dependencies install.  The numpy-backed subpackages load the moment one
+of their names is touched.  :mod:`repro.faults` alone is imported
+eagerly: its import reads ``REPRO_FAULTS`` and arms the process-global
+injector, which spawned chaos-test workers rely on.
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from repro.baselines import (
-    EntryDPMechanism,
-    GK16Mechanism,
-    GroupDPMechanism,
-    IndividualDPMechanism,
-)
-from repro.core import (
-    BaseAccountant,
-    Calibration,
-    CompositionAccountant,
-    CountQuery,
-    FluCliqueModel,
-    GaussianMarkovQuiltMechanism,
-    MQMApprox,
-    MQMExact,
-    MarkovChainModel,
-    MarkovQuiltMechanism,
-    Mechanism,
-    PrivateRelease,
-    PufferfishInstantiation,
-    Query,
-    RelativeFrequencyHistogram,
-    RenyiAccountant,
-    Secret,
-    SecretPair,
-    StateFrequencyQuery,
-    TabularDataModel,
-    WassersteinMechanism,
-    adversary_distance,
-    chain_max_influence,
-    effective_epsilon,
-    entrywise_instantiation,
-    pure_rdp_curve,
-    wasserstein_bound,
-)
-from repro.data import StudyGroup, TimeSeriesDataset
-from repro.inference import InferenceEngine, engine_for
-from repro.parallel import ParallelCalibrator
-from repro.serving import (
-    CalibrationCache,
-    InMemoryLRUCache,
-    JSONFileCache,
-    PrivacyEngine,
-    ReleaseSession,
-)
-from repro.distributions import (
-    DiscreteBayesianNetwork,
-    DiscreteDistribution,
-    FiniteChainFamily,
-    IntervalChainFamily,
-    MarkovChain,
-    max_divergence,
-    total_variation,
-    w_infinity,
-)
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+# Eager and stdlib-only: importing repro.faults arms REPRO_FAULTS-spec'd
+# injection in worker processes (see repro.faults.injector.install_from_env).
+import repro.faults  # noqa: F401
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "BaseAccountant",
-    "Calibration",
-    "CalibrationCache",
-    "CompositionAccountant",
-    "CountQuery",
-    "DiscreteBayesianNetwork",
-    "DiscreteDistribution",
-    "EntryDPMechanism",
-    "FiniteChainFamily",
-    "FluCliqueModel",
-    "GK16Mechanism",
-    "GaussianMarkovQuiltMechanism",
-    "GroupDPMechanism",
-    "IndividualDPMechanism",
-    "InMemoryLRUCache",
-    "InferenceEngine",
-    "IntervalChainFamily",
-    "JSONFileCache",
-    "MQMApprox",
-    "MQMExact",
-    "MarkovChain",
-    "MarkovChainModel",
-    "MarkovQuiltMechanism",
-    "Mechanism",
-    "ParallelCalibrator",
-    "PrivacyEngine",
-    "PrivateRelease",
-    "PufferfishInstantiation",
-    "Query",
-    "RelativeFrequencyHistogram",
-    "ReleaseSession",
-    "RenyiAccountant",
-    "Secret",
-    "SecretPair",
-    "StateFrequencyQuery",
-    "StudyGroup",
-    "TabularDataModel",
-    "TimeSeriesDataset",
-    "WassersteinMechanism",
-    "adversary_distance",
-    "chain_max_influence",
-    "effective_epsilon",
-    "engine_for",
-    "entrywise_instantiation",
-    "max_divergence",
-    "pure_rdp_curve",
-    "total_variation",
-    "w_infinity",
-    "wasserstein_bound",
-]
+#: public name -> defining submodule, resolved lazily on first access.
+_LAZY_EXPORTS: "dict[str, str]" = {
+    "EntryDPMechanism": "repro.baselines",
+    "GK16Mechanism": "repro.baselines",
+    "GroupDPMechanism": "repro.baselines",
+    "IndividualDPMechanism": "repro.baselines",
+    "BaseAccountant": "repro.core",
+    "Calibration": "repro.core",
+    "CompositionAccountant": "repro.core",
+    "CountQuery": "repro.core",
+    "FluCliqueModel": "repro.core",
+    "GaussianMarkovQuiltMechanism": "repro.core",
+    "MQMApprox": "repro.core",
+    "MQMExact": "repro.core",
+    "MarkovChainModel": "repro.core",
+    "MarkovQuiltMechanism": "repro.core",
+    "Mechanism": "repro.core",
+    "PrivateRelease": "repro.core",
+    "PufferfishInstantiation": "repro.core",
+    "Query": "repro.core",
+    "RelativeFrequencyHistogram": "repro.core",
+    "RenyiAccountant": "repro.core",
+    "Secret": "repro.core",
+    "SecretPair": "repro.core",
+    "StateFrequencyQuery": "repro.core",
+    "TabularDataModel": "repro.core",
+    "WassersteinMechanism": "repro.core",
+    "adversary_distance": "repro.core",
+    "chain_max_influence": "repro.core",
+    "effective_epsilon": "repro.core",
+    "entrywise_instantiation": "repro.core",
+    "pure_rdp_curve": "repro.core",
+    "wasserstein_bound": "repro.core",
+    "StudyGroup": "repro.data",
+    "TimeSeriesDataset": "repro.data",
+    "InferenceEngine": "repro.inference",
+    "engine_for": "repro.inference",
+    "ParallelCalibrator": "repro.parallel",
+    "CalibrationCache": "repro.serving",
+    "InMemoryLRUCache": "repro.serving",
+    "JSONFileCache": "repro.serving",
+    "PrivacyEngine": "repro.serving",
+    "ReleaseSession": "repro.serving",
+    "DiscreteBayesianNetwork": "repro.distributions",
+    "DiscreteDistribution": "repro.distributions",
+    "FiniteChainFamily": "repro.distributions",
+    "IntervalChainFamily": "repro.distributions",
+    "MarkovChain": "repro.distributions",
+    "max_divergence": "repro.distributions",
+    "total_variation": "repro.distributions",
+    "w_infinity": "repro.distributions",
+}
+
+#: subpackages reachable as ``repro.<name>`` attributes without an
+#: explicit ``import repro.<name>``.
+_LAZY_SUBMODULES = frozenset(
+    {
+        "analysis",
+        "baselines",
+        "core",
+        "data",
+        "distributions",
+        "exceptions",
+        "experiments",
+        "inference",
+        "parallel",
+        "service",
+        "serving",
+        "staticcheck",
+        "utils",
+    }
+)
+
+__all__ = sorted(_LAZY_EXPORTS) + ["faults"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        module = importlib.import_module(module_name)
+        value = getattr(module, name)
+        globals()[name] = value  # cache: resolve once per process
+        return value
+    if name in _LAZY_SUBMODULES:
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__) | set(_LAZY_SUBMODULES))

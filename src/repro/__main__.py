@@ -34,6 +34,11 @@ Commands
     for ``.sqlite``/``.db`` suffixes, a JSON file otherwise, in-memory when
     omitted).  Several service processes may share one store — budgets
     hold across all of them.
+``lint``
+    Run the stdlib-only AST invariant linter (:mod:`repro.staticcheck`)
+    over a tree: lock discipline, check-then-act atomicity, crash-
+    exception safety, determinism, fault-point conformance, transaction
+    discipline.  Pure stdlib — works before numpy installs.
 ``info``
     Print version and the experiment inventory.
 """
@@ -348,6 +353,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import cli as lint_cli
+
+    argv = [args.root, "--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.strict:
+        argv.append("--strict")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_cli.main(argv)
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
 
@@ -461,6 +479,32 @@ def main(argv: list[str] | None = None) -> int:
         "503 ServiceSaturated + Retry-After (backpressure, not queueing)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST invariant lint over the tree (stdlib-only; rules R1-R6)",
+    )
+    p_lint.add_argument(
+        "root", nargs="?", default=".",
+        help="tree to lint (default: current directory)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    p_lint.add_argument(
+        "--select", default=None,
+        help="comma list of rule ids/names to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on suppressions that no longer suppress anything",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(func=_cmd_info)

@@ -395,7 +395,7 @@ class BaseAccountant:
         """
         with self._mutex:
             clone = copy.deepcopy(self)
-        total = clone._spent_locked()
+        total = clone._spent_locked()  # repro-lint: disable=R1 -- clone is a frame-private deepcopy; no other thread can see it
         for n_releases, epsilon in charges:
             if n_releases < 0:
                 raise PrivacyParameterError(
@@ -407,8 +407,8 @@ class BaseAccountant:
                 raise PrivacyParameterError(
                     f"epsilon must be positive, got {epsilon}"
                 )
-            total, token = clone._stage_locked(int(n_releases), float(epsilon), None)
-            clone._apply_locked(token)
+            total, token = clone._stage_locked(int(n_releases), float(epsilon), None)  # repro-lint: disable=R1 -- clone is frame-private
+            clone._apply_locked(token)  # repro-lint: disable=R1 -- clone is frame-private
             # The count advance normally happens in record_many, after the
             # hooks; the clone must mirror it or staged linear totals stall.
             clone._count += int(n_releases)

@@ -19,6 +19,13 @@ See :mod:`repro.faults.injector` for the model and
 ``docs/architecture.md`` for the fault-model ADR.
 """
 
+from repro.faults.points import (
+    FAULT_POINTS,
+    declared_points,
+    matching_points,
+    never_fired,
+    unmatched_patterns,
+)
 from repro.faults.injector import (
     ENV_VAR,
     ERROR_KINDS,
@@ -39,11 +46,16 @@ __all__ = [
     "ENV_VAR",
     "ERROR_KINDS",
     "EXIT_STATUS",
+    "FAULT_POINTS",
     "FaultInjector",
     "FaultRule",
     "SimulatedCrashError",
     "current",
+    "declared_points",
     "fire",
+    "matching_points",
+    "never_fired",
+    "unmatched_patterns",
     "injected",
     "injector_from_spec",
     "install",

@@ -173,6 +173,7 @@ class FaultInjector:
         *,
         seed: int = 0,
         max_history: int = 1000,
+        validate_points: bool = False,
     ) -> None:
         import random
 
@@ -180,6 +181,10 @@ class FaultInjector:
             _RuleState(r if isinstance(r, FaultRule) else FaultRule(**r))
             for r in rules
         ]
+        if validate_points:
+            from repro.faults import points as _points
+
+            _points.validate_patterns([s.rule.point for s in self._states])
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.max_history = int(max_history)
@@ -262,6 +267,23 @@ class FaultInjector:
                 "total_fired": sum(s.fired for s in self._states),
             }
 
+    def unmatched_rules(self) -> "tuple[str, ...]":
+        """Armed rule patterns matching no point in the canonical registry.
+
+        The lenient companion to ``validate_points=True`` — a pattern
+        listed here will never fire at any declared production point
+        (synthetic unit-test points aside), which usually means a typo
+        in a chaos plan.
+        """
+        from repro.faults import points as _points
+
+        return _points.unmatched_patterns(s.rule.point for s in self._states)
+
+    def fired_per_point(self) -> "dict[str, int]":
+        """Snapshot of the durable per-point fired counters."""
+        with self._lock:
+            return dict(self._fired_per_point)
+
     def fired(self, pattern: str = "*") -> int:
         """Total faults fired at points matching ``pattern``.
 
@@ -342,7 +364,11 @@ def injector_from_spec(spec: "str | Mapping[str, Any]") -> FaultInjector:
     """Build an injector from a JSON spec: ``{"seed": 0, "rules": [...]}``.
 
     Each rule entry is a :class:`FaultRule` field mapping.  This is the
-    wire format of the ``REPRO_FAULTS`` environment variable.
+    wire format of the ``REPRO_FAULTS`` environment variable.  Spec rules
+    are validated against the canonical registry
+    (:mod:`repro.faults.points`) by default — an env-armed chaos plan
+    whose pattern matches no declared point would silently prove nothing.
+    Set ``"validate": false`` in the spec to arm arbitrary patterns.
     """
     if isinstance(spec, str):
         try:
@@ -356,7 +382,11 @@ def injector_from_spec(spec: "str | Mapping[str, Any]") -> FaultInjector:
     rules = spec.get("rules", [])
     if not isinstance(rules, Sequence) or isinstance(rules, (str, bytes)):
         raise ValidationError("fault spec 'rules' must be a list")
-    return FaultInjector(rules, seed=int(spec.get("seed", 0)))
+    return FaultInjector(
+        rules,
+        seed=int(spec.get("seed", 0)),
+        validate_points=bool(spec.get("validate", True)),
+    )
 
 
 def install_from_env(environ: "Mapping[str, str] | None" = None) -> "FaultInjector | None":

@@ -494,11 +494,27 @@ class PrivacyService:
 
     def faults_status(self) -> dict:
         """What the process-global fault injector (if any) has been doing —
-        chaos-run observability, not a production surface."""
+        chaos-run observability, not a production surface.
+
+        Beyond the per-rule counters, reports chaos *coverage*: which
+        points from the canonical registry (:mod:`repro.faults.points`)
+        have never fired this process, and which armed rule patterns
+        match no declared point at all (a typo'd plan arms forever and
+        proves nothing).
+        """
+        from repro.faults import never_fired
+
         injector = current_injector()
         if injector is None:
             return {"installed": False}
-        return {"installed": True, **injector.stats()}
+        return {
+            "installed": True,
+            **injector.stats(),
+            "coverage": {
+                "never_fired": list(never_fired(injector.fired_per_point())),
+                "unmatched_rules": list(injector.unmatched_rules()),
+            },
+        }
 
 
 # --------------------------------------------------------------------------

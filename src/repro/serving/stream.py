@@ -88,6 +88,8 @@ class ReleaseSession:
         Optional hard cap after which iteration raises ``StopIteration``
         (the *exhausted* state).  ``None`` streams until closed or the
         budget refuses.
+
+    :guarded: _noise, _pos, _blocks_drawn
     """
 
     def __init__(

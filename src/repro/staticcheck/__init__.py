@@ -1,0 +1,48 @@
+"""Invariant lint: AST static analysis for the repo's own conventions.
+
+The concurrency, crash-safety, and determinism guarantees this codebase
+makes (exact budgets under threads and injected crashes, bit-identical
+fingerprints, debit-before-yield streaming) all rest on *conventions* —
+``*_locked`` methods called only under their lock, ``SimulatedCrashError``
+never swallowed, fault points declared in one registry.  Dynamic tests
+catch violations only when a schedule happens to hit them; this package
+checks the conventions *structurally*, on every file, at lint time.
+
+Pure stdlib (``ast`` + ``fnmatch`` + ``tokenize``) by design: the linter
+must run in a bare CI container before numpy installs.  Entry point:
+``python -m repro lint`` (see :mod:`repro.staticcheck.cli`).
+
+Layout
+------
+* :mod:`repro.staticcheck.engine` — file walking, parsing, suppression
+  comments, finding collection, output formatting.
+* :mod:`repro.staticcheck.astutil` — shared AST helpers (parent maps,
+  dotted-name chains, lock-guard detection).
+* :mod:`repro.staticcheck.rules` — the rule battery (R1–R6).
+* :mod:`repro.staticcheck.cli` — argparse front end.
+
+Suppressions are per-line comments with a **required** justification::
+
+    risky_call()  # repro-lint: disable=R1 -- clone is frame-private
+
+A suppression without the ``-- why`` text is itself a finding.
+"""
+
+from repro.staticcheck.engine import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Linter,
+    Suppression,
+)
+from repro.staticcheck.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Linter",
+    "Rule",
+    "Suppression",
+]

@@ -1,0 +1,87 @@
+"""Command-line front end: ``python -m repro lint``.
+
+Pure stdlib by design — this must run in a bare container before numpy
+installs (``repro/__init__`` is lazy for exactly this reason).
+
+Exit codes: 0 clean, 1 unsuppressed findings (or, with ``--strict``,
+unused suppressions), 2 usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST invariant lint: lock discipline (R1), check-then-act "
+            "atomicity (R2), crash-exception safety (R3), determinism "
+            "(R4), fault-point conformance (R5), transaction discipline "
+            "(R6)."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="tree to lint (default: current directory; rule file "
+        "targets are matched relative to it)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma list of rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on suppressions that no longer suppress anything",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.staticcheck.engine import LintConfig, Linter
+    from repro.staticcheck.rules import all_rules
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:<24} {rule.title}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"repro lint: not a directory: {args.root}", file=sys.stderr)
+        return 2
+    select = (
+        frozenset(t.strip() for t in args.select.split(",") if t.strip())
+        if args.select
+        else None
+    )
+    linter = Linter(LintConfig(root=root, select=select))
+    result = linter.run()
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text(strict=args.strict))
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

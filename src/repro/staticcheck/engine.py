@@ -1,0 +1,388 @@
+"""The invariant-lint engine: files, suppressions, findings, output.
+
+The engine is deliberately small: walk the tree, parse each targeted
+file once, hand the parsed unit to every interested rule, then subtract
+per-line suppression comments.  All policy lives in the rules
+(:mod:`repro.staticcheck.rules`); all mechanism lives here.
+
+Suppression contract
+--------------------
+A finding is suppressed by a comment **on the finding's line**::
+
+    clone._apply_locked(staged)  # repro-lint: disable=R1 -- clone is frame-private
+
+* ``disable=`` takes rule ids (``R1``), rule names
+  (``lock-discipline``), a comma list, or ``all``.
+* The ``-- justification`` text is **required**; a bare suppression is
+  itself a finding (``bad-suppression``), because an unexplained
+  exception to an invariant is exactly what the linter exists to stop.
+* A suppression that suppresses nothing is reported under ``--strict``
+  (``unused-suppression``) so stale exceptions get cleaned up.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.staticcheck.astutil import build_parents
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.rules import Rule
+
+#: Directories never descended into while walking the lint root.
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".venv",
+        "venv",
+        ".eggs",
+        ".pytest_cache",
+        ".mypy_cache",
+        "node_modules",
+        "build",
+        "dist",
+    }
+)
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_.,\- ]*?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # short id: "R1".."R6", or "lint" for engine findings
+    name: str  # rule slug: "lock-discipline", "bad-suppression", ...
+    path: str  # posix path relative to the lint root
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}[{self.name}] {self.message}"
+        )
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    path: str
+    line: int
+    rules: "frozenset[str]"  # ids/names as written, lowercased; may hold "all"
+    justification: str
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule == "lint":
+            return False  # engine findings are not suppressible
+        targets = {finding.rule.lower(), finding.name.lower(), "all"}
+        return bool(self.rules & targets)
+
+
+@dataclass
+class FileUnit:
+    """One parsed source file handed to the rules."""
+
+    path: Path  # absolute
+    rel: str  # posix, relative to the lint root
+    source: str
+    tree: ast.Module
+    parents: "dict[ast.AST, ast.AST]" = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "FileUnit":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=rel)
+        return cls(path=path, rel=rel, source=source, tree=tree,
+                   parents=build_parents(tree))
+
+
+@dataclass
+class LintConfig:
+    """Engine configuration.
+
+    ``fault_points`` overrides the declared-point set R5 validates
+    against (fixture tests use this); when ``None`` the engine extracts
+    it from ``src/repro/faults/points.py`` under the lint root, falling
+    back to the installed registry.
+    """
+
+    root: Path
+    select: "frozenset[str] | None" = None  # rule ids/names; None = all
+    fault_points: "frozenset[str] | None" = None
+
+
+@dataclass
+class LintResult:
+    findings: "list[Finding]"  # unsuppressed, sorted
+    suppressed: "list[Finding]"
+    unused_suppressions: "list[Suppression]"
+    files_checked: int
+    rules_run: "list[str]"
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.findings:
+            return 1
+        if strict and self.unused_suppressions:
+            return 1
+        return 0
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "unused_suppressions": [
+                {"path": s.path, "line": s.line, "rules": sorted(s.rules)}
+                for s in self.unused_suppressions
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self, strict: bool = False) -> str:
+        lines = [f.render() for f in self.findings]
+        if strict:
+            lines.extend(
+                f"{s.path}:{s.line}:1: lint[unused-suppression] suppression "
+                f"for {', '.join(sorted(s.rules))} matched no finding"
+                for s in self.unused_suppressions
+            )
+        summary = (
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {len(self.unused_suppressions)} unused "
+            f"suppression(s); {self.files_checked} file(s), "
+            f"rules: {', '.join(self.rules_run)}"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _scan_suppressions(
+    unit: FileUnit,
+) -> "tuple[dict[int, Suppression], list[Finding]]":
+    """All suppression comments in a file, plus malformed-comment findings."""
+    suppressions: "dict[int, Suppression]" = {}
+    malformed: "list[Finding]" = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(unit.source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:  # ast parsed it; be forgiving here
+        comments = [
+            (number, "#" + line.split("#", 1)[1])
+            for number, line in enumerate(unit.source.splitlines(), 1)
+            if "#" in line
+        ]
+    for line_number, text in comments:
+        if "repro-lint" not in text:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            malformed.append(
+                Finding(
+                    rule="lint",
+                    name="bad-suppression",
+                    path=unit.rel,
+                    line=line_number,
+                    col=1,
+                    message=(
+                        "unparseable repro-lint comment; expected "
+                        "'# repro-lint: disable=<rule> -- <justification>'"
+                    ),
+                )
+            )
+            continue
+        rules = frozenset(
+            token.strip().lower()
+            for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        why = (match.group("why") or "").strip()
+        if not rules or not why:
+            malformed.append(
+                Finding(
+                    rule="lint",
+                    name="bad-suppression",
+                    path=unit.rel,
+                    line=line_number,
+                    col=1,
+                    message=(
+                        "suppression needs both a rule list and a "
+                        "justification: "
+                        "'# repro-lint: disable=<rule> -- <why>'"
+                    ),
+                )
+            )
+            continue
+        suppressions[line_number] = Suppression(
+            path=unit.rel, line=line_number, rules=rules, justification=why
+        )
+    return suppressions, malformed
+
+
+def _extract_registry_points(points_file: Path) -> "frozenset[str] | None":
+    """String keys of the ``FAULT_POINTS`` dict literal, via AST only."""
+    try:
+        tree = ast.parse(points_file.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        targets: "list[ast.expr]" = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id == "FAULT_POINTS"
+            for t in targets
+        )
+        if named and isinstance(value, ast.Dict):
+            return frozenset(
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return None
+
+
+class Linter:
+    """Runs a rule battery over a tree and folds in suppressions."""
+
+    def __init__(
+        self,
+        config: LintConfig,
+        rules: "Sequence[Rule] | None" = None,
+    ) -> None:
+        from repro.staticcheck.rules import ALL_RULES
+
+        self.config = config
+        candidates = list(ALL_RULES if rules is None else rules)
+        if config.select is not None:
+            wanted = {token.lower() for token in config.select}
+            candidates = [
+                rule
+                for rule in candidates
+                if rule.rule_id.lower() in wanted or rule.name.lower() in wanted
+            ]
+        self.rules = candidates
+
+    # -- context shared with rules ----------------------------------------
+    def declared_fault_points(self) -> "frozenset[str]":
+        if self.config.fault_points is not None:
+            return self.config.fault_points
+        registry = self.config.root / "src" / "repro" / "faults" / "points.py"
+        if registry.is_file():
+            extracted = _extract_registry_points(registry)
+            if extracted is not None:
+                return extracted
+        try:  # fall back to the installed registry (pure stdlib import)
+            from repro.faults.points import FAULT_POINTS
+
+            return frozenset(FAULT_POINTS)
+        except Exception:
+            return frozenset()
+
+    # -- file collection ---------------------------------------------------
+    def _iter_files(self) -> "Iterable[tuple[Path, str]]":
+        root = self.config.root
+        for path in sorted(root.rglob("*.py")):
+            rel_parts = path.relative_to(root).parts
+            if any(part in SKIP_DIRS for part in rel_parts):
+                continue
+            yield path, "/".join(rel_parts)
+
+    def run(self) -> LintResult:
+        raw: "list[Finding]" = []
+        suppressed_bucket: "list[Finding]" = []
+        engine_findings: "list[Finding]" = []
+        all_suppressions: "list[Suppression]" = []
+        files_checked = 0
+
+        for path, rel in self._iter_files():
+            interested = [r for r in self.rules if r.targets_file(rel)]
+            if not interested:
+                continue
+            try:
+                unit = FileUnit.load(path, rel)
+            except SyntaxError as error:
+                engine_findings.append(
+                    Finding(
+                        rule="lint",
+                        name="parse-error",
+                        path=rel,
+                        line=error.lineno or 1,
+                        col=error.offset or 1,
+                        message=f"file does not parse: {error.msg}",
+                    )
+                )
+                continue
+            except (OSError, UnicodeDecodeError) as error:
+                engine_findings.append(
+                    Finding(
+                        rule="lint",
+                        name="parse-error",
+                        path=rel,
+                        line=1,
+                        col=1,
+                        message=f"file is unreadable: {error}",
+                    )
+                )
+                continue
+            files_checked += 1
+            suppressions, malformed = _scan_suppressions(unit)
+            engine_findings.extend(malformed)
+            all_suppressions.extend(suppressions.values())
+            for rule in interested:
+                for finding in rule.check(unit, self):
+                    suppression = suppressions.get(finding.line)
+                    if suppression is not None and suppression.covers(finding):
+                        suppression.used = True
+                        suppressed_bucket.append(finding)
+                    else:
+                        raw.append(finding)
+
+        key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+        return LintResult(
+            findings=sorted(raw + engine_findings, key=key),
+            suppressed=sorted(suppressed_bucket, key=key),
+            unused_suppressions=sorted(
+                (s for s in all_suppressions if not s.used),
+                key=lambda s: (s.path, s.line),
+            ),
+            files_checked=files_checked,
+            rules_run=[rule.rule_id for rule in self.rules],
+        )

@@ -1,0 +1,113 @@
+"""R3 crash-exception safety.
+
+:class:`~repro.faults.injector.SimulatedCrashError` derives from
+``BaseException`` precisely so ``except Exception`` recovery paths can't
+swallow a simulated power loss.  The remaining holes are syntactic and
+this rule closes them:
+
+* a **bare** ``except:`` or ``except BaseException:`` that never
+  re-raises *does* swallow the crash — broad handlers must contain a
+  ``raise`` (the repo idiom: inspect ``simulates_crash``, clean up only
+  for real errors, then re-raise unconditionally);
+* an ``except Exception: pass`` directly wrapping a fault-point
+  ``fire(...)`` call silently eats the injected *transient* errors the
+  chaos suite relies on observing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.staticcheck.astutil import (
+    call_name,
+    terminal_attr,
+    walk_excluding_nested_defs,
+)
+from repro.staticcheck.engine import FileUnit, Finding
+from repro.staticcheck.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.engine import Linter
+
+
+def _handler_breadth(handler: ast.ExceptHandler) -> "str | None":
+    """``"base"`` for bare/``BaseException`` handlers, ``"exception"``
+    for ``Exception``-wide ones, ``None`` for anything narrower."""
+    node = handler.type
+    if node is None:
+        return "base"
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = {terminal_attr(e) for e in exprs}
+    if "BaseException" in names:
+        return "base"
+    if "Exception" in names:
+        return "exception"
+    return None
+
+
+def _direct_nodes(statements: "list[ast.stmt]") -> "Iterator[ast.AST]":
+    """Every node directly executed by ``statements`` (no nested defs)."""
+    for stmt in statements:
+        yield stmt
+        yield from walk_excluding_nested_defs(stmt)
+
+
+def _contains_raise(statements: "list[ast.stmt]") -> bool:
+    return any(
+        isinstance(n, ast.Raise) for n in _direct_nodes(statements)
+    )
+
+
+def _is_silent(statements: "list[ast.stmt]") -> bool:
+    """A handler body that does nothing observable: pass/continue/docstring."""
+    for stmt in statements:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+class CrashSafetyRule(Rule):
+    """R3: broad handlers re-raise; no silent swallows around fault points."""
+
+    rule_id = "R3"
+    name = "crash-safety"
+    title = "SimulatedCrashError must survive every handler"
+    default_targets = ("src/repro/*.py",)
+    default_excludes = ("src/repro/staticcheck/*",)
+
+    def check(self, unit: FileUnit, linter: "Linter") -> "Iterator[Finding]":
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            body_fires = any(
+                isinstance(n, ast.Call) and call_name(n) == "fire"
+                for n in _direct_nodes(node.body)
+            )
+            for handler in node.handlers:
+                breadth = _handler_breadth(handler)
+                if breadth == "base":
+                    if not _contains_raise(handler.body):
+                        yield self.finding(
+                            unit,
+                            handler,
+                            "bare/BaseException handler never re-raises "
+                            "— it would swallow SimulatedCrashError and "
+                            "tidy up after a simulated power loss; "
+                            "clean up conditionally "
+                            "(getattr(error, 'simulates_crash', False)) "
+                            "and re-raise",
+                        )
+                elif breadth == "exception":
+                    if body_fires and _is_silent(handler.body):
+                        yield self.finding(
+                            unit,
+                            handler,
+                            "except Exception silently swallows a block "
+                            "containing a fault point — injected "
+                            "transient errors would vanish; handle, "
+                            "log, or re-raise",
+                        )

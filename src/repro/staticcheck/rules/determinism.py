@@ -1,0 +1,119 @@
+"""R4 determinism in fingerprint-feeding modules.
+
+The serving cache key is a content fingerprint: the same mechanism,
+query, and data must hash to the same key in every process, forever —
+that is what makes the calibration cache shareable and the chaos suite's
+bit-identity assertions meaningful.  Anything nondeterministic in the
+modules that feed :mod:`repro.serving.fingerprint` (wall clocks, the
+process-global RNGs, salted builtin ``hash()``, iteration order of a
+``set``) can silently poison a fingerprint or a cached calibration.
+
+Flagged, as *calls*: ``time.time``/``time_ns``, ``datetime.now`` and
+friends, the module-level ``random.*`` functions (seeded
+``random.Random(seed)`` instances are fine), legacy global
+``np.random.*`` (explicit ``np.random.default_rng``/``Generator``
+construction is fine), and builtin ``hash()``.  Flagged, as iteration:
+``for``/comprehension loops directly over a ``set`` literal, set
+comprehension, or ``set()``/``frozenset()`` call that is not wrapped in
+``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.staticcheck.astutil import dotted_name
+from repro.staticcheck.engine import FileUnit, Finding
+from repro.staticcheck.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.engine import Linter
+
+#: numpy.random members that construct *seedable* generators.
+_SEEDABLE_NP = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "SFC64"}
+)
+#: random-module members that construct seedable instances.
+_SEEDABLE_STDLIB = frozenset({"Random", "SystemRandom"})
+
+
+def _banned_call(name: str) -> "str | None":
+    """A human reason if calling dotted ``name`` is nondeterministic."""
+    if name in ("time.time", "time.time_ns"):
+        return "wall-clock read"
+    parts = name.split(".")
+    if parts[-1] in ("now", "utcnow", "today") and any(
+        p in ("datetime", "date") for p in parts[:-1]
+    ):
+        return "wall-clock read"
+    if (
+        len(parts) == 2
+        and parts[0] == "random"
+        and parts[1] not in _SEEDABLE_STDLIB
+    ):
+        return "process-global stdlib RNG"
+    if (
+        len(parts) >= 2
+        and parts[-2] == "random"
+        and parts[0] in ("np", "numpy")
+        and parts[-1] not in _SEEDABLE_NP
+    ):
+        return "legacy global numpy RNG"
+    if name == "hash":
+        return "builtin hash() is salted per process (PYTHONHASHSEED)"
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    """R4: no hidden nondeterminism where fingerprints are computed."""
+
+    rule_id = "R4"
+    name = "determinism"
+    title = "fingerprint-feeding modules stay deterministic"
+    default_targets = (
+        "src/repro/serving/fingerprint.py",
+        "src/repro/serving/cache.py",
+        "src/repro/serving/engine.py",
+        "src/repro/serving/stream.py",
+        "src/repro/core/*.py",
+        "src/repro/distributions/*.py",
+        "src/repro/inference/*.py",
+    )
+
+    def check(self, unit: FileUnit, linter: "Linter") -> "Iterator[Finding]":
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                reason = None if name is None else _banned_call(name)
+                if reason is not None:
+                    yield self.finding(
+                        unit,
+                        node,
+                        f"nondeterministic call '{name}' ({reason}) in a "
+                        "fingerprint-feeding module — cache keys and "
+                        "calibrations must replay bit-identically",
+                    )
+            iters: "list[ast.AST]" = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if _is_set_expr(candidate):
+                    yield self.finding(
+                        unit,
+                        candidate,
+                        "iteration over a set in a fingerprint-feeding "
+                        "module — ordering is arbitrary; wrap in "
+                        "sorted(...)",
+                    )

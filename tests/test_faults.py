@@ -459,3 +459,75 @@ def test_tenant_fire_points_observe_lifecycle(store_and_kind):
     assert injector.fired("tenant.reserve") == 1
     assert injector.fired("tenant.release_unused") == 1
     assert injector.fired("tenant.sweep") == 1
+
+
+# -- the canonical fault-point registry ------------------------------------
+def test_registry_covers_every_compiled_fire_site():
+    """Every fire("<name>") literal in src/ is declared, and every declared
+    point is actually compiled into some source file (no zombie entries).
+    The AST-exact version of this check is staticcheck rule R5."""
+    import re
+    from pathlib import Path
+
+    from repro.faults import FAULT_POINTS
+
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    compiled = set()
+    for path in src.rglob("*.py"):
+        if path.name in ("injector.py", "points.py"):
+            continue
+        text = path.read_text()
+        compiled.update(re.findall(r'fire\(\s*"([^"]+)"', text))
+    assert compiled == set(FAULT_POINTS)
+    assert all(desc.strip() for desc in FAULT_POINTS.values())
+
+
+def test_pattern_matching_helpers():
+    from repro.faults import matching_points, unmatched_patterns
+
+    assert "tenant.reserve" in matching_points("tenant.*")
+    assert matching_points("zz.nothing") == ()
+    assert unmatched_patterns(["tenant.*", "zz.nothing", "zz.nothing"]) == (
+        "zz.nothing",
+    )
+
+
+def test_injector_validates_points_on_request():
+    with pytest.raises(ValidationError, match="no declared fault point"):
+        FaultInjector(
+            [FaultRule("zz.nothing")],  # repro-lint: disable=R5 -- deliberately unknown: exercises registry validation
+            validate_points=True,
+        )
+    injector = FaultInjector(
+        [FaultRule("ledger.*")], validate_points=True
+    )
+    assert injector.rules[0].point == "ledger.*"
+    # The default stays lenient: unit tests arm synthetic points freely.
+    lenient = FaultInjector([FaultRule("p")])
+    assert lenient.unmatched_rules() == ("p",)
+
+
+def test_spec_validation_default_and_opt_out():
+    with pytest.raises(ValidationError, match="no declared fault point"):
+        injector_from_spec(
+            {"rules": [{"point": "zz.nothing"}]}  # repro-lint: disable=R5 -- deliberately unknown: exercises spec validation
+        )
+    injector = injector_from_spec(
+        {
+            "rules": [{"point": "zz.nothing"}],  # repro-lint: disable=R5 -- deliberately unknown: exercises the validate opt-out
+            "validate": False,
+        }
+    )
+    assert injector.rules[0].point == "zz.nothing"
+
+
+def test_never_fired_coverage_accounting():
+    from repro.faults import FAULT_POINTS, never_fired
+
+    with injected(
+        [FaultRule("tenant.reserve", action="latency", delay=0.0)]
+    ) as injector:
+        injector.fire("tenant.reserve")
+        remaining = never_fired(injector.fired_per_point())
+    assert "tenant.reserve" not in remaining
+    assert set(remaining) == set(FAULT_POINTS) - {"tenant.reserve"}

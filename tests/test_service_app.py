@@ -504,10 +504,28 @@ def test_admin_faults_reports_injector_state(client):
     from repro.faults import FaultRule, injected
 
     assert client.get("/admin/faults").json() == {"installed": False}
-    with injected([FaultRule("no.such.point", action="latency")]):
+    with injected([FaultRule("no.such.point", action="latency")]):  # repro-lint: disable=R5 -- deliberately unmatched: asserts idle rules are observable but inert
         status = client.get("/admin/faults").json()
     assert status["installed"] is True
     assert status["rules"][0]["point"] == "no.such.point"
+
+
+def test_admin_faults_reports_chaos_coverage(client):
+    from repro.faults import FAULT_POINTS, FaultRule, current, injected
+
+    rules = [
+        FaultRule("tenant.reserve", action="latency", delay=0.0),
+        FaultRule("zz.typo.*", action="latency"),  # repro-lint: disable=R5 -- deliberately unmatched: exercises the coverage report
+    ]
+    with injected(rules):
+        current().fire("tenant.reserve")
+        status = client.get("/admin/faults").json()
+    coverage = status["coverage"]
+    assert coverage["unmatched_rules"] == ["zz.typo.*"]
+    assert "tenant.reserve" not in coverage["never_fired"]
+    assert set(coverage["never_fired"]) == set(FAULT_POINTS) - {
+        "tenant.reserve"
+    }
 
 
 def test_unexpected_handler_error_is_500_not_a_crash(client):
