@@ -1,0 +1,259 @@
+"""Benchmark E10 — temporal: incremental recalibration + sliding windows.
+
+Two serving questions this answers for an evolving scenario network:
+
+* After a single-node CPD edit on a structured 200-node network, how much of
+  the Markov-quilt calibration survives?  :class:`TemporalNetwork` replays
+  only the quilts whose separator closures touch the edit, so the warm
+  recalibration must be at least **5x** faster than the cold one (full mode;
+  quick-mode grids are too small to demonstrate it) — and the reused sigmas
+  must be **bit-identical** to a from-scratch calibration, in every mode.
+* Does an indefinite release stream under :class:`SlidingWindowAccountant`
+  sustain ``floor(budget / epsilon)`` releases per window forever?  Window
+  expiry reclaims epsilon exactly, so every window's admission count equals
+  window 0's, and a replay under one seed reproduces every noisy value bit
+  for bit.
+
+An engine-registry entry rides along: editing workloads retire fingerprints
+eagerly (:func:`invalidate_engine`), so the per-process registry stays
+bounded by ``MAX_CACHED_ENGINES`` however many edits the stream applies.
+The machine-readable trajectory is recorded to
+``results/BENCH_temporal.json``.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.recording import QUICK, QUICK_SKIP_REASON, record_trajectory
+from repro.core import MarkovQuiltMechanism, SlidingWindowAccountant
+from repro.core.queries import CountQuery
+from repro.distributions import TemporalNetwork
+from repro.distributions.structured import (
+    BlockQuiltGenerator,
+    block_node,
+    household_blocks_network,
+)
+from repro.exceptions import BudgetExhaustedError
+from repro.inference.engine import MAX_CACHED_ENGINES, engine_registry_size
+from repro.serving import PrivacyEngine
+
+N_BLOCKS = 4 if QUICK else 20
+BLOCK_SIZE = 3 if QUICK else 10
+EPSILON = 0.5
+SPEEDUP_GATE = 5.0
+
+WINDOW_BUDGET = 1.0
+WINDOW_EPSILON = 0.25
+N_WINDOWS = 6 if QUICK else 20
+REGISTRY_EDITS = 8 if QUICK else 24
+
+
+def _blocks(n_blocks, block_size):
+    return tuple(
+        tuple(block_node(i, j) for j in range(block_size))
+        for i in range(n_blocks)
+    )
+
+
+def _uniform_cpd(network, name):
+    k = network.n_states(name)
+    return np.full(network.cpd(name).shape, 1.0 / k)
+
+
+@pytest.fixture(scope="module")
+def recalibration_report():
+    """Cold vs incremental calibration of the blocks network, one CPD edit."""
+    generator = BlockQuiltGenerator(_blocks(N_BLOCKS, BLOCK_SIZE))
+    temporal = TemporalNetwork(household_blocks_network(N_BLOCKS, BLOCK_SIZE))
+
+    start = time.perf_counter()
+    _, cold = temporal.calibrated_mechanism(EPSILON, quilt_generator=generator)
+    cold_seconds = time.perf_counter() - start
+
+    edited = block_node(0, BLOCK_SIZE - 1)
+    temporal.update_cpd(edited, _uniform_cpd(temporal.network, edited))
+
+    start = time.perf_counter()
+    warm_mechanism, warm = temporal.calibrated_mechanism(
+        EPSILON, quilt_generator=generator
+    )
+    warm_seconds = time.perf_counter() - start
+
+    fresh = MarkovQuiltMechanism(
+        [temporal.network], EPSILON, quilt_generator=generator
+    )
+    fresh.sigma_max()
+
+    return {
+        "temporal": temporal,
+        "cold": cold,
+        "warm": warm,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / max(warm_seconds, 1e-12),
+        "edited": edited,
+        "bit_identical": fresh._sigma_cache == warm_mechanism._sigma_cache,
+    }
+
+
+def _drain_windows(seed: int) -> tuple[list[int], list[float]]:
+    """Serve a seeded stream through sliding windows until each refuses."""
+    network = household_blocks_network(2, 3)
+    data = np.ones(len(network.nodes))
+    query = CountQuery()
+    engine = PrivacyEngine(
+        MarkovQuiltMechanism([network], WINDOW_EPSILON),
+        accountant=SlidingWindowAccountant(budget=WINDOW_BUDGET),
+        rng=seed,
+    )
+    served: list[int] = []
+    values: list[float] = []
+    for _ in range(N_WINDOWS):
+        count = 0
+        try:
+            while True:
+                values.append(engine.release(data, query).value)
+                count += 1
+        except BudgetExhaustedError:
+            pass
+        served.append(count)
+        stats = engine.accountant.advance_window()
+        assert stats["live_releases"] == 0
+    return served, values
+
+
+@pytest.fixture(scope="module")
+def window_report():
+    served, values = _drain_windows(seed=7)
+    replay_served, replay_values = _drain_windows(seed=7)
+    return {
+        "served": served,
+        "values": values,
+        "replay_identical": served == replay_served and values == replay_values,
+    }
+
+
+@pytest.fixture(scope="module")
+def registry_report():
+    """Many edits + recalibrations must not grow the engine registry."""
+    temporal = TemporalNetwork(household_blocks_network(3, 3))
+    temporal.calibrated_mechanism(EPSILON)
+    baseline = engine_registry_size()
+    peak = baseline
+    target = block_node(1, 1)
+    for i in range(REGISTRY_EDITS):
+        cpd = _uniform_cpd(temporal.network, target)
+        cpd[..., 0] += 0.01 * (i + 1)
+        cpd /= cpd.sum(axis=-1, keepdims=True)
+        temporal.update_cpd(target, cpd)
+        temporal.calibrated_mechanism(EPSILON)
+        peak = max(peak, engine_registry_size())
+    return {
+        "baseline": baseline,
+        "peak": peak,
+        "final": engine_registry_size(),
+        "retired": temporal.retired_engine_count,
+    }
+
+
+@pytest.fixture(scope="module")
+def trajectory(recalibration_report, window_report, registry_report):
+    report = recalibration_report
+    entries = [
+        {
+            "op": "cold_calibration",
+            "nodes": report["cold"].total_nodes,
+            "seconds": report["cold_seconds"],
+            "speedup": None,
+        },
+        {
+            "op": "incremental_recalibration",
+            "nodes": report["warm"].total_nodes,
+            "reused_nodes": report["warm"].reused_nodes,
+            "recomputed_nodes": report["warm"].recomputed_nodes,
+            "seconds": report["warm_seconds"],
+            "speedup": report["speedup"],
+        },
+        {
+            "op": "window_drain",
+            "windows": N_WINDOWS,
+            "served_per_window": window_report["served"],
+            "replay_identical": window_report["replay_identical"],
+            "speedup": None,
+        },
+        {
+            "op": "engine_registry",
+            "edits": REGISTRY_EDITS,
+            "peak_size": registry_report["peak"],
+            "retired": registry_report["retired"],
+            "speedup": None,
+        },
+    ]
+    record_trajectory(
+        "temporal",
+        entries,
+        meta={
+            "network": f"household_blocks({N_BLOCKS}, {BLOCK_SIZE})",
+            "epsilon": EPSILON,
+            "window_budget": WINDOW_BUDGET,
+            "window_epsilon": WINDOW_EPSILON,
+            "speedup_gate": SPEEDUP_GATE,
+            "bit_identical": report["bit_identical"],
+            "max_cached_engines": MAX_CACHED_ENGINES,
+        },
+    )
+    return entries
+
+
+def test_temporal_trajectory_recorded(trajectory):
+    """The measurement runs in every mode and records sane entries."""
+    assert len(trajectory) == 4
+    assert all(e["op"] for e in trajectory)
+
+
+def test_incremental_is_bit_identical(recalibration_report):
+    """Acceptance (every mode): reused sigmas equal a from-scratch
+    calibration bit for bit — reuse is a cache hit, not an approximation."""
+    assert recalibration_report["bit_identical"]
+
+
+def test_edit_recomputes_only_touched_block(recalibration_report):
+    """A single-node CPD edit dirties only quilts whose separator closures
+    touch it — here, the edited block; every other block is a cache hit."""
+    warm = recalibration_report["warm"]
+    assert not warm.cold
+    assert warm.recomputed_nodes <= BLOCK_SIZE
+    assert warm.reused_nodes == warm.total_nodes - warm.recomputed_nodes
+    assert warm.reused_nodes >= (N_BLOCKS - 1) * BLOCK_SIZE
+
+
+def test_windows_sustain_floor_budget_over_eps(window_report):
+    """Acceptance (every mode): expiry reclaims epsilon exactly, so every
+    window admits floor(budget / epsilon) releases, indefinitely."""
+    expected = math.floor(WINDOW_BUDGET / WINDOW_EPSILON)
+    assert window_report["served"] == [expected] * N_WINDOWS
+
+
+def test_window_replay_is_bit_identical(window_report):
+    """One seed, one schedule: the replayed stream reproduces every noisy
+    value and every admission decision exactly."""
+    assert window_report["replay_identical"]
+
+
+def test_engine_registry_stays_bounded(registry_report):
+    """Eager fingerprint invalidation keeps the registry from accumulating
+    one engine per edit; the LRU cap bounds it regardless."""
+    assert registry_report["peak"] <= MAX_CACHED_ENGINES
+    assert registry_report["peak"] <= registry_report["baseline"] + 1
+    assert registry_report["retired"] >= REGISTRY_EDITS - 1
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(QUICK, reason=QUICK_SKIP_REASON)
+def test_incremental_speedup_gate(recalibration_report):
+    """Acceptance (full mode): warm recalibration after a one-node edit is
+    at least 5x faster than the cold calibration on the 200-node network."""
+    assert recalibration_report["speedup"] >= SPEEDUP_GATE

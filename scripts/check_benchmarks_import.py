@@ -28,6 +28,7 @@ REQUIRED = frozenset(
         "benchmarks.bench_service",
         "benchmarks.bench_streaming",
         "benchmarks.bench_structured",
+        "benchmarks.bench_temporal",
         "benchmarks.bench_wasserstein",
     }
 )

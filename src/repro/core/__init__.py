@@ -46,6 +46,7 @@ from repro.core.queries import (
 )
 from repro.core.robustness import adversary_distance, effective_epsilon
 from repro.core.wasserstein import WassersteinMechanism, wasserstein_bound
+from repro.core.windowed import SlidingWindowAccountant
 
 __all__ = [
     "BaseAccountant",
@@ -70,6 +71,7 @@ __all__ = [
     "ScalarQuery",
     "Secret",
     "SecretPair",
+    "SlidingWindowAccountant",
     "StateFrequencyQuery",
     "SumQuery",
     "TabularDataModel",

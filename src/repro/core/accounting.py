@@ -486,10 +486,18 @@ def accountant_from_state(state: Mapping) -> BaseAccountant:
             orders=tuple(float(a) for a in state["orders"]),
             audit_trail=bool(state["audit_trail"]),
         )
+    elif kind == "sliding":
+        from repro.core.windowed import SlidingWindowAccountant
+
+        accountant = SlidingWindowAccountant(
+            budget=state["budget"],
+            window_span=int(state["window_span"]),
+            audit_trail=bool(state["audit_trail"]),
+        )
     else:
         raise PrivacyParameterError(
-            f"unknown accountant state kind {kind!r} (expected 'linear' or "
-            f"'renyi')"
+            f"unknown accountant state kind {kind!r} (expected 'linear', "
+            f"'renyi', or 'sliding')"
         )
     accountant._restore_state(state)
     return accountant

@@ -30,6 +30,11 @@ from repro.distributions.structured import (
     hub_and_spoke_network,
     hub_and_spoke_scenario,
 )
+from repro.distributions.temporal import (
+    RecalibrationReport,
+    TemporalEdit,
+    TemporalNetwork,
+)
 
 __all__ = [
     "BlockQuiltGenerator",
@@ -41,7 +46,10 @@ __all__ = [
     "HubQuiltGenerator",
     "IntervalChainFamily",
     "MarkovChain",
+    "RecalibrationReport",
     "StructuredScenario",
+    "TemporalEdit",
+    "TemporalNetwork",
     "certified_quilts",
     "grid_network",
     "grid_scenario",

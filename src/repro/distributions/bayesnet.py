@@ -130,6 +130,32 @@ class DiscreteBayesianNetwork:
         self._fingerprint = None
         self._joint_memo = None
 
+    def update_cpd(self, name: str, cpd: Sequence | np.ndarray) -> None:
+        """Replace the CPD of an existing node (structure unchanged).
+
+        The new table must have the node's current shape
+        ``(k_parents..., k_node)`` and pass the same validation as
+        :meth:`add_node`.  Like ``add_node``, the edit invalidates the
+        memoized fingerprint and joint, so a network updated after
+        fingerprinting or calibration re-hashes — a stale fingerprint would
+        alias a stale inference engine and serve stale calibrations.
+        """
+        if name not in self._states:
+            raise ValidationError(f"cannot update CPD of unknown node {name!r}")
+        expected_shape = tuple(
+            self._states[p] for p in self._parents[name]
+        ) + (self._states[name],)
+        table = np.asarray(cpd, dtype=float)
+        if table.shape != expected_shape:
+            raise ValidationError(
+                f"cpd for {name!r} must have shape {expected_shape}, got {table.shape}"
+            )
+        if np.any(table < 0) or not np.allclose(table.sum(axis=-1), 1.0, atol=1e-8):
+            raise ValidationError(f"cpd for {name!r} must be non-negative with last axis summing to 1")
+        self._cpds[name] = table / table.sum(axis=-1, keepdims=True)
+        self._fingerprint = None
+        self._joint_memo = None
+
     @classmethod
     def chain(cls, initial: np.ndarray, transition: np.ndarray, length: int) -> "DiscreteBayesianNetwork":
         """The Markov-chain network ``X1 -> X2 -> ... -> XT`` used throughout
@@ -233,6 +259,21 @@ class DiscreteBayesianNetwork:
                 visited.add(nxt)
                 frontier.append(nxt)
         return True
+
+    def ancestral_closure(self, names: Iterable[str]) -> frozenset[str]:
+        """``names`` plus every DAG ancestor of a named node.
+
+        The marginal (and any conditional) over a set ``S`` is a function of
+        the CPDs of ``ancestral_closure(S)`` only — the invariant behind the
+        temporal incremental-recalibration rule: an edit whose dirty nodes
+        avoid a quilt candidate's closure cannot change that candidate's
+        max-influence.
+        """
+        seed = set(names)
+        unknown = [n for n in seed if n not in self._states]
+        if unknown:
+            raise ValidationError(f"unknown node(s) {sorted(unknown)!r}")
+        return frozenset(self._ancestral_closure(seed))
 
     def _ancestral_closure(self, seed: set[str]) -> set[str]:
         closure = set(seed)

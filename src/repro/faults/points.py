@@ -82,6 +82,10 @@ FAULT_POINTS: "dict[str, str]" = {
         "RetryingLedgerStore, just before a backoff sleep — observes "
         "(or perturbs) the retry schedule itself"
     ),
+    "tenant.advance_window": (
+        "TenantLedger.advance_window entry, before the windowed "
+        "reclamation transaction opens"
+    ),
     "tenant.consume": (
         "TenantLedger.consume / consume_idempotent entry, before the "
         "debit transaction opens"

@@ -21,6 +21,8 @@ from repro.inference.engine import (
     InferenceEngine,
     clear_engine_registry,
     engine_for,
+    engine_registry_size,
+    invalidate_engine,
 )
 from repro.inference.factor import Factor, contract
 
@@ -30,4 +32,6 @@ __all__ = [
     "clear_engine_registry",
     "contract",
     "engine_for",
+    "engine_registry_size",
+    "invalidate_engine",
 ]

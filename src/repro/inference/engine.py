@@ -60,11 +60,16 @@ class InferenceEngine:
         self.nodes: tuple[str, ...] = tuple(network.nodes)
         self._states: dict[str, int] = {n: int(network.n_states(n)) for n in self.nodes}
         self._position: dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        self._parents: dict[str, tuple[str, ...]] = {
+            n: tuple(network.parents(n)) for n in self.nodes
+        }
         self._factors: tuple[Factor, ...] = tuple(
-            Factor(tuple(network.parents(n)) + (n,), network.cpd(n)) for n in self.nodes
+            Factor(self._parents[n] + (n,), network.cpd(n)) for n in self.nodes
         )
+        self._factor_of: dict[str, Factor] = dict(zip(self.nodes, self._factors))
         self.fingerprint: str = network.fingerprint()
         self._order_cache: dict[tuple[frozenset, frozenset], tuple[str, ...]] = {}
+        self._closure_cache: dict[frozenset, frozenset] = {}
         self._marginal_cache: dict[str, np.ndarray] = {}
         self._table_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
@@ -198,12 +203,40 @@ class InferenceEngine:
                     f"conditioning event {dict(given)!r} has zero probability"
                 )
 
+    def _ancestral_closure(self, seed: frozenset) -> frozenset:
+        """``seed`` plus every DAG ancestor of a seed node (memoized).
+
+        Nodes outside this closure are *barren* for a query over ``seed``:
+        marginalizing them out contributes an exact factor of 1.  Pruning
+        them before elimination means a query's float result depends only
+        on the CPDs of the closure — so an edit anywhere else in the network
+        leaves the query's answer **bit-identical**, which is the invariant
+        the temporal incremental-recalibration path relies on.
+        """
+        cached = self._closure_cache.get(seed)
+        if cached is not None:
+            return cached
+        closure = set(seed)
+        frontier = list(seed)
+        while frontier:
+            for parent in self._parents[frontier.pop()]:
+                if parent not in closure:
+                    closure.add(parent)
+                    frontier.append(parent)
+        result = frozenset(closure)
+        self._closure_cache[seed] = result
+        return result
+
     def _eliminate(self, keep: tuple[str, ...], given: Mapping[str, int]) -> Factor:
         """Unnormalized ``sum_{others} P(X) * 1[given]`` over the kept axes."""
         evidence = {name: int(value) for name, value in given.items()}
+        relevant = self._ancestral_closure(frozenset(keep) | frozenset(evidence))
         factors: list[Factor] = []
         scalar = 1.0
-        for factor in self._factors:
+        for name in self.nodes:
+            if name not in relevant:
+                continue  # barren: sums out to exactly 1
+            factor = self._factor_of[name]
             for var in factor.variables:
                 if var in evidence:
                     factor = factor.restrict(var, evidence[var])
@@ -211,7 +244,9 @@ class InferenceEngine:
                 scalar *= factor.scalar()
             else:
                 factors.append(factor)
-        for var in self._elimination_order(frozenset(keep), frozenset(evidence)):
+        for var in self._elimination_order(
+            frozenset(keep), frozenset(evidence), factors
+        ):
             bucket = [f for f in factors if var in f.variables]
             if not bucket:
                 continue
@@ -231,22 +266,25 @@ class InferenceEngine:
         return Factor(keep, result.table * scalar)
 
     def _elimination_order(
-        self, keep: frozenset, removed: frozenset
+        self, keep: frozenset, removed: frozenset, factors: Sequence[Factor]
     ) -> tuple[str, ...]:
         """Min-fill order over the moralized factor graph (memoized).
 
         ``removed`` is the evidence set (its variables are sliced out of
         every scope before elimination, so they never appear in the graph).
-        Ties break by current degree, then by topological position, making
-        the order — and therefore the exact float reassociation of every
-        contraction — deterministic across runs and processes.
+        ``factors`` is the barren-pruned, evidence-restricted factor list —
+        the memo key stays ``(keep, removed)`` because the pruned set is a
+        pure function of it.  Ties break by current degree, then by
+        topological position, making the order — and therefore the exact
+        float reassociation of every contraction — deterministic across
+        runs and processes.
         """
         cache_key = (keep, removed)
         cached = self._order_cache.get(cache_key)
         if cached is not None:
             return cached
         neighbors: dict[str, set[str]] = {}
-        for factor in self._factors:
+        for factor in factors:
             scope = [v for v in factor.variables if v not in removed]
             for var in scope:
                 neighbors.setdefault(var, set()).update(scope)
@@ -303,6 +341,24 @@ def engine_for(network) -> InferenceEngine:
     else:
         _ENGINES.move_to_end(fingerprint)
     return engine
+
+
+def invalidate_engine(fingerprint: str) -> bool:
+    """Drop one cached engine by fingerprint; ``True`` if it was present.
+
+    The LRU bound alone keeps the registry finite, but an *editing* workload
+    (``repro.distributions.temporal``) mints a fresh fingerprint per edit and
+    never queries the old one again — without eager invalidation each edit
+    pins a dead engine plan (factors, orders, cached marginals) until 64
+    later networks happen to push it out.  Eviction is always safe: an
+    equal-content network simply rebuilds its engine on next use.
+    """
+    return _ENGINES.pop(fingerprint, None) is not None
+
+
+def engine_registry_size() -> int:
+    """Number of engines currently pinned by the registry."""
+    return len(_ENGINES)
 
 
 def clear_engine_registry() -> None:

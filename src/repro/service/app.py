@@ -273,14 +273,29 @@ class PrivacyService:
         return self.ledger(tenant).create(
             budget=get_float(body, "budget", positive=True),
             accountant=get_str(
-                body, "accountant", default="linear", choices=("linear", "renyi")
+                body,
+                "accountant",
+                default="linear",
+                choices=("linear", "renyi", "sliding"),
             ),
             delta=get_float(body, "delta", default=1e-6, positive=True),
+            window_span=get_int(body, "window_span", default=1, minimum=1),
             audit_trail=get_bool(body, "audit_trail", default=True),
         )
 
     def get_tenant(self, tenant: str) -> dict:
         return self.ledger(tenant).snapshot()
+
+    def advance_window(self, tenant: str, body: Mapping) -> dict:
+        """Advance a sliding-window tenant's logical clock (the windowed
+        reclamation sweep): expired windows' epsilon returns to the budget
+        exactly, and stale reservations are reclaimed in the same
+        transaction.  Only valid for tenants created with
+        ``accountant="sliding"``."""
+        body = require_object(body)
+        window = get_int(body, "window", minimum=0)
+        steps = get_int(body, "steps", default=1, minimum=1)
+        return self.ledger(tenant).advance_window(steps=steps, window=window)
 
     def calibrate(self, tenant: str, body: Mapping) -> dict:
         """Warm one workload's calibration.  Budget-free (calibration never
@@ -592,6 +607,7 @@ class AsgiApp:
             ("GET", ("tenants",), s.list_tenants, False),
             ("POST", ("tenants", "{tenant}"), s.create_tenant, True),
             ("GET", ("tenants", "{tenant}"), s.get_tenant, False),
+            ("POST", ("tenants", "{tenant}", "advance-window"), s.advance_window, True),
             ("POST", ("tenants", "{tenant}", "calibrate"), s.calibrate, True),
             ("POST", ("tenants", "{tenant}", "release"), s.release, True),
             ("POST", ("tenants", "{tenant}", "stream"), s.open_stream, True),

@@ -78,6 +78,7 @@ from repro.core.accounting import (
     accountant_from_state,
 )
 from repro.core.composition import CompositionAccountant
+from repro.core.windowed import SlidingWindowAccountant
 from repro.exceptions import (
     BudgetExhaustedError,
     PrivacyParameterError,
@@ -189,6 +190,7 @@ class TenantLedger:
         budget: "float | None",
         accountant: str = "linear",
         delta: float = 1e-6,
+        window_span: int = 1,
         audit_trail: bool = True,
         exist_ok: bool = True,
     ) -> dict:
@@ -196,7 +198,10 @@ class TenantLedger:
 
         An existing ledger is returned untouched — budgets are never
         silently rewritten; raising on mismatch is the caller's business
-        (the service treats re-creation as a read).
+        (the service treats re-creation as a read).  ``window_span`` only
+        applies to the ``"sliding"`` accountant: the budget is enforced
+        over the trailing ``window_span`` logical windows, advanced via
+        :meth:`advance_window`.
         """
         if accountant == "linear":
             fresh: BaseAccountant = CompositionAccountant(
@@ -206,9 +211,14 @@ class TenantLedger:
             fresh = RenyiAccountant(
                 budget=budget, delta=delta, audit_trail=audit_trail
             )
+        elif accountant == "sliding":
+            fresh = SlidingWindowAccountant(
+                budget=budget, window_span=window_span, audit_trail=audit_trail
+            )
         else:
             raise ValidationError(
-                f"accountant must be 'linear' or 'renyi', got {accountant!r}"
+                f"accountant must be 'linear', 'renyi', or 'sliding', "
+                f"got {accountant!r}"
             )
         fresh_state = fresh.state_dict()
 
@@ -611,6 +621,59 @@ class TenantLedger:
 
         return self.store.run(self.tenant, handler)
 
+    def advance_window(
+        self, *, steps: int = 1, window: "int | None" = None, now: "float | None" = None
+    ) -> dict:
+        """The windowed reclamation sweep: advance the tenant's logical
+        window clock and reclaim expired releases' epsilon, exactly.
+
+        Requires a ``"sliding"`` accountant (raises
+        :class:`~repro.exceptions.ValidationError` otherwise).  ``steps``
+        advances relatively; ``window`` jumps to an absolute index
+        (monotone).  The clock advance, the bucket expiry, and a
+        reservation-TTL sweep all land in **one** store transaction, so an
+        indefinite stream's reclamation can never strand a reservation or
+        observe a half-advanced ledger.  Returns the accountant's advance
+        stats plus the reservation-sweep stats.
+        """
+        if window is not None and steps != 1:
+            raise ValidationError("pass steps or window, not both")
+        fire("tenant.advance_window", tenant=self.tenant)
+
+        def handler(txn: LedgerTransaction) -> dict:
+            state = self._require(txn.state)
+            accountant = accountant_from_state(state["accountant"])
+            if not isinstance(accountant, SlidingWindowAccountant):
+                raise ValidationError(
+                    f"tenant {self.tenant!r} uses "
+                    f"{type(accountant).__name__}; advance_window requires "
+                    "the 'sliding' accountant"
+                )
+            if window is not None:
+                stats = accountant.advance_to(int(window))
+            else:
+                stats = accountant.advance_window(int(steps))
+            state["accountant"] = accountant.state_dict()
+            # Same-transaction reservation sweep: reclamation and expiry
+            # are one atomic reconciliation, as in :meth:`sweep`.
+            reservations = state["reservations"]
+            expired = self._expired_ids(state, now=now)
+            reclaimed_releases = 0
+            for rid in expired:
+                entry = reservations.pop(rid)
+                reclaimed_releases += int(
+                    entry["n_reserved"] - entry["n_consumed"]
+                )
+            return {
+                "tenant": self.tenant,
+                **stats,
+                "expired_reservations": len(expired),
+                "reclaimed_releases": reclaimed_releases,
+                "outstanding_reservations": len(reservations),
+            }
+
+        return self.store.run(self.tenant, handler)
+
     # -- reads -------------------------------------------------------------
     def accountant(self) -> BaseAccountant:
         """A rehydrated **snapshot** of the tenant's accountant.
@@ -652,6 +715,10 @@ class TenantLedger:
         if isinstance(accountant, RenyiAccountant):
             snapshot["delta"] = accountant.delta
             snapshot["optimal_order"] = accountant.optimal_order()
+        if isinstance(accountant, SlidingWindowAccountant):
+            snapshot["window"] = accountant.window
+            snapshot["window_span"] = accountant.window_span
+            snapshot["live_releases"] = accountant.live_release_count()
         return snapshot
 
     # -- internals ---------------------------------------------------------

@@ -18,6 +18,7 @@ signature, epsilon) combination it was computed under — see
 from __future__ import annotations
 
 import contextlib
+import copy
 import json
 import os
 import tempfile
@@ -78,9 +79,15 @@ class InMemoryLRUCache(CacheBackend):
             payload = self._entries.get(key)
             if payload is not None:
                 self._entries.move_to_end(key)
-            return payload
+        # Hand out a private copy: the stored payload is shared by every
+        # future hit, and callers (``CalibrationCache.get_or_compute``) pass
+        # its ``"state"`` sub-dict into ``mechanism.warm_start`` — a
+        # mechanism that mutates its warm-start structures must not corrupt
+        # the cache entry behind every later tenant's back.
+        return copy.deepcopy(payload) if payload is not None else None
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
+        payload = copy.deepcopy(payload)  # detach from the caller's reference
         with self._lock:
             self._entries[key] = payload
             self._entries.move_to_end(key)
@@ -191,15 +198,19 @@ class JSONFileCache(CacheBackend):
     def get(self, key: str) -> dict[str, Any] | None:
         with self._lock:
             payload = self._entries.get(key)
-            if payload is not None:
-                return payload
-            # Another process may have persisted this entry since our last
-            # read; re-read only when the file actually changed.
-            if self._stat() != self._disk_stat:
-                self._read_disk_locked()
-            return self._entries.get(key)
+            if payload is None:
+                # Another process may have persisted this entry since our
+                # last read; re-read only when the file actually changed.
+                if self._stat() != self._disk_stat:
+                    self._read_disk_locked()
+                payload = self._entries.get(key)
+        # Same isolation contract as :class:`InMemoryLRUCache`: a caller
+        # mutating the returned payload must not corrupt the in-memory view
+        # (which the next flush would also persist to disk).
+        return copy.deepcopy(payload) if payload is not None else None
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
+        payload = copy.deepcopy(payload)  # detach from the caller's reference
         with self._lock, self._file_lock():
             self._entries[key] = payload
             self._flush_locked(merge=True)
@@ -259,10 +270,16 @@ class CalibrationCache:
     ----------
     hits, misses:
         Lookup statistics since construction (or :meth:`reset_stats`).
+        The engine shares one cache across service worker threads, so the
+        counters are mutated under a dedicated lock — unlocked ``+= 1``
+        read-modify-writes drift under load and make ``hit_rate`` lie.
+
+    :guarded: hits, misses
     """
 
     def __init__(self, backend: CacheBackend | None = None) -> None:
         self.backend = backend if backend is not None else InMemoryLRUCache()
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -301,13 +318,15 @@ class CalibrationCache:
         key = self.key_for(mechanism, query, data)
         payload = self.backend.get(key)
         if payload is not None:
-            self.hits += 1
+            with self._stats_lock:
+                self.hits += 1
             calibration = Calibration.from_payload(payload)
             state = payload.get("state")
             if state and hasattr(mechanism, "warm_start"):
                 mechanism.warm_start(state)
             return calibration, True
-        self.misses += 1
+        with self._stats_lock:
+            self.misses += 1
         calibration = compute() if compute is not None else mechanism.calibrate(query, data)
         stored = calibration.to_payload()
         if hasattr(mechanism, "export_calibration_state"):
@@ -318,13 +337,15 @@ class CalibrationCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._stats_lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are kept)."""
-        self.hits = 0
-        self.misses = 0
+        with self._stats_lock:
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self.backend)

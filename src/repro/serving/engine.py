@@ -118,6 +118,10 @@ class PrivacyEngine:
             )
         elif accountant == "renyi":
             self.accountant = RenyiAccountant(budget=epsilon_budget)
+        elif accountant == "sliding":
+            from repro.core.windowed import SlidingWindowAccountant
+
+            self.accountant = SlidingWindowAccountant(budget=epsilon_budget)
         elif isinstance(accountant, BaseAccountant):
             if epsilon_budget is not None:
                 raise ValidationError(
@@ -127,8 +131,8 @@ class PrivacyEngine:
             self.accountant = accountant
         else:
             raise ValidationError(
-                f"accountant must be 'linear', 'renyi', or a BaseAccountant "
-                f"instance, got {accountant!r}"
+                f"accountant must be 'linear', 'renyi', 'sliding', or a "
+                f"BaseAccountant instance, got {accountant!r}"
             )
         self._rng = resolve_rng(rng)
         self._n_releases = 0

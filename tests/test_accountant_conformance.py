@@ -27,14 +27,19 @@ import pytest
 
 from repro.core.accounting import BUDGET_ATOL, RenyiAccountant
 from repro.core.composition import CompositionAccountant
+from repro.core.windowed import SlidingWindowAccountant
 from repro.exceptions import BudgetExhaustedError, PrivacyParameterError
 
 EPSILON = 0.5
 
 #: (name, factory) — factories accept the shared BaseAccountant fields.
+#: The sliding accountant conforms at a fixed clock (never advanced here);
+#: its windowed semantics have their own suite in
+#: tests/test_windowed_accounting.py.
 FACTORIES = [
     ("linear", CompositionAccountant),
     ("renyi", lambda **kw: RenyiAccountant(delta=1e-5, **kw)),
+    ("sliding", SlidingWindowAccountant),
 ]
 
 IDS = [name for name, _ in FACTORIES]

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.serving.cache import JSONFileCache
+from repro.serving.cache import CalibrationCache, InMemoryLRUCache, JSONFileCache
 
 N_THREADS = 8
 KEYS_PER_WRITER = 20
@@ -156,3 +156,100 @@ def test_interleaved_backends_agree_with_merge_semantics(tmp_path):
     # union too; the other side catches up via the miss path.
     assert right.get("left-9") == _payload("left", 9)
     assert left.get("right-9") == _payload("right", 9)
+
+
+# ---------------------------------------------------------------------------
+# Payload aliasing: a caller mutating what a backend handed out (or what it
+# handed in) must never corrupt the stored entry.  The warm-start path feeds
+# the payload's nested "state" dict straight into mechanism.warm_start, so
+# without boundary copies the first tenant's mutation would poison every
+# later tenant's calibration.
+# ---------------------------------------------------------------------------
+
+_NESTED = {"scale": 1.0, "state": {"sigmas": [1.0, 2.0], "order": ["a", "b"]}}
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryLRUCache()
+    return JSONFileCache(tmp_path / "calibrations.json")
+
+
+def test_mutating_a_hit_does_not_corrupt_the_entry(backend):
+    backend.put("k", json.loads(json.dumps(_NESTED)))
+    first = backend.get("k")
+    first["scale"] = 99.0
+    first["state"]["sigmas"].append(666.0)
+    first["state"]["order"].clear()
+    # A second hit sees the original payload, not the first caller's edits.
+    assert backend.get("k") == _NESTED
+
+
+def test_mutating_the_put_argument_does_not_corrupt_the_entry(backend):
+    payload = json.loads(json.dumps(_NESTED))
+    backend.put("k", payload)
+    payload["state"]["sigmas"].append(666.0)
+    payload["scale"] = -1.0
+    assert backend.get("k") == _NESTED
+
+
+def test_two_hits_never_share_mutable_state(backend):
+    backend.put("k", json.loads(json.dumps(_NESTED)))
+    first = backend.get("k")
+    second = backend.get("k")
+    assert first == second
+    assert first["state"] is not second["state"]
+    assert first["state"]["sigmas"] is not second["state"]["sigmas"]
+
+
+# ---------------------------------------------------------------------------
+# Hit/miss statistics: the engine shares one CalibrationCache across service
+# worker threads, so the counters must be mutated under their lock — an
+# unlocked `+= 1` read-modify-write silently drops increments under load.
+# ---------------------------------------------------------------------------
+
+
+def test_hit_miss_counters_are_exact_under_thread_hammering():
+    import numpy as np
+
+    from repro.core.markov_quilt import MarkovQuiltMechanism
+    from repro.core.queries import CountQuery
+    from repro.distributions.structured import hub_and_spoke_network
+
+    network = hub_and_spoke_network(2, 1)
+    data = np.ones(len(network.nodes))
+    query = CountQuery()
+    cache = CalibrationCache()
+    cache.get_or_compute(MarkovQuiltMechanism([network], 0.5), query, data)
+
+    per_thread = 200
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    errors: list = []
+    try:
+
+        def hammer():
+            try:
+                # Private mechanism per thread (content-identical key) so the
+                # only shared mutable state is the cache and its counters.
+                mechanism = MarkovQuiltMechanism([network], 0.5)
+                for _ in range(per_thread):
+                    _, was_hit = cache.get_or_compute(mechanism, query, data)
+                    assert was_hit
+            except BaseException as error:  # pragma: no cover - regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        sys.setswitchinterval(previous)
+    assert not errors
+    assert cache.misses == 1
+    assert cache.hits == N_THREADS * per_thread
+    assert cache.hit_rate == cache.hits / (cache.hits + cache.misses)
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.hit_rate) == (0, 0, 0.0)

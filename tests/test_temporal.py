@@ -1,0 +1,394 @@
+"""Temporal scenario networks: edits, exact retirement, incremental recal.
+
+Certifies the :class:`~repro.distributions.temporal.TemporalNetwork`
+contract:
+
+* edit-log semantics — ``append_node`` / ``update_cpd`` / ``retire_window``
+  each log a :class:`TemporalEdit` with the dirty set the recalibration
+  rule consumes, and each eagerly retires the pre-edit engine fingerprint;
+* **retirement exactness** — the rebuilt network's joint equals the old
+  network's marginal over the survivors;
+* **incremental recalibration bit-identity** — sigmas reused across an
+  edit equal a from-scratch calibration of the edited network bit for bit,
+  on every structured family (grid, hub-and-spoke, household blocks);
+* **staleness** — edits re-fingerprint the network immediately (including
+  after a pickle round-trip), so content-keyed caches (calibration cache,
+  engine registry) can never serve a stale entry for the edited network.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.markov_quilt import MarkovQuiltMechanism
+from repro.distributions import (
+    DiscreteBayesianNetwork,
+    RecalibrationReport,
+    TemporalEdit,
+    TemporalNetwork,
+)
+from repro.distributions.structured import (
+    BlockQuiltGenerator,
+    block_node,
+    grid_network,
+    household_blocks_network,
+    hub_and_spoke_network,
+    spoke_node,
+)
+from repro.distributions.temporal import MAX_RETIRE_TABLE
+from repro.exceptions import ValidationError
+from repro.inference import (
+    InferenceEngine,
+    engine_registry_size,
+    invalidate_engine,
+)
+
+EPSILON = 0.5
+
+
+def _chain_pair() -> TemporalNetwork:
+    """Window 0: a -> b; window 1: c -> d hanging off b."""
+    base = DiscreteBayesianNetwork()
+    base.add_node("a", 2, cpd=[0.6, 0.4])
+    base.add_node("b", 2, parents=("a",), cpd=[[0.9, 0.1], [0.2, 0.8]])
+    temporal = TemporalNetwork(base)
+    temporal.advance_window()
+    temporal.append_node(
+        "c", 2, parents=("b",), cpd=[[0.7, 0.3], [0.4, 0.6]]
+    )
+    temporal.append_node(
+        "d", 3, parents=("c",), cpd=[[0.5, 0.3, 0.2], [0.1, 0.6, 0.3]]
+    )
+    return temporal
+
+
+def _uniform_cpd(network, name: str) -> np.ndarray:
+    k = network.n_states(name)
+    return np.full(network.cpd(name).shape, 1.0 / k)
+
+
+# -- edits and the log ------------------------------------------------------
+def test_append_assigns_windows_and_logs():
+    temporal = _chain_pair()
+    assert temporal.nodes == ("a", "b", "c", "d")
+    assert temporal.window == 1
+    assert temporal.window_of("a") == 0
+    assert temporal.window_of("d") == 1
+    assert temporal.live_windows() == (0, 1)
+    ops = [edit.op for edit in temporal.edit_log]
+    assert ops == ["append", "append"]
+    assert temporal.edit_log[0].dirty == frozenset({"c"})
+    assert temporal.edit_log[0].window == 1
+
+
+def test_update_cpd_logs_and_replaces():
+    temporal = _chain_pair()
+    temporal.update_cpd("b", [[0.5, 0.5], [0.5, 0.5]])
+    assert temporal.edit_log[-1] == TemporalEdit(
+        op="update_cpd",
+        window=1,
+        dirty=frozenset({"b"}),
+        retired_fingerprint=temporal.edit_log[-1].retired_fingerprint,
+    )
+    np.testing.assert_allclose(temporal.network.cpd("b"), 0.5)
+
+
+def test_update_cpd_validation():
+    temporal = _chain_pair()
+    with pytest.raises(ValidationError):
+        temporal.update_cpd("ghost", [0.5, 0.5])
+    with pytest.raises(ValidationError):  # wrong shape for a 2-parent-state node
+        temporal.update_cpd("b", [0.5, 0.5])
+    with pytest.raises(ValidationError):  # rows must be distributions
+        temporal.update_cpd("a", [0.9, 0.9])
+    with pytest.raises(ValidationError):
+        temporal.update_cpd("a", [1.2, -0.2])
+
+
+def test_clock_validation():
+    temporal = _chain_pair()
+    with pytest.raises(ValidationError):
+        temporal.advance_window(0)
+    with pytest.raises(ValidationError):
+        temporal.window_of("ghost")
+
+
+# -- retirement -------------------------------------------------------------
+def test_retire_window_preserves_survivor_marginals():
+    temporal = _chain_pair()
+    old = temporal.network
+    engine_before = InferenceEngine(old)
+    marginal_c = engine_before.marginals_given(("c",), {})
+    marginal_d = engine_before.marginals_given(("d",), {})
+    joint_cd = engine_before.marginals_given(("c", "d"), {})
+
+    retired = temporal.retire_window()
+    assert retired == frozenset({"a", "b"})
+    assert temporal.nodes == ("c", "d")
+    assert temporal.live_windows() == (1,)
+    assert temporal.edit_log[-1].op == "retire"
+    # Frontier c (its parent b retired) is dirty; d's CPD is untouched.
+    assert temporal.edit_log[-1].dirty == frozenset({"a", "b", "c"})
+
+    engine_after = InferenceEngine(temporal.network)
+    np.testing.assert_allclose(
+        engine_after.marginals_given(("c",), {}), marginal_c, rtol=1e-10
+    )
+    np.testing.assert_allclose(
+        engine_after.marginals_given(("d",), {}), marginal_d, rtol=1e-10
+    )
+    np.testing.assert_allclose(
+        engine_after.marginals_given(("c", "d"), {}), joint_cd, rtol=1e-10
+    )
+    # d keeps its exact CPD object content — only the frontier was rebuilt.
+    np.testing.assert_array_equal(
+        temporal.network.cpd("d"), old.cpd("d")
+    )
+
+
+def test_retire_window_requires_two_live_windows():
+    temporal = _chain_pair()
+    temporal.retire_window()
+    with pytest.raises(ValidationError, match="two live windows"):
+        temporal.retire_window()
+
+
+def test_retire_window_caps_the_frontier_table():
+    base = DiscreteBayesianNetwork()
+    k = 5
+    base.add_node("root", k, cpd=np.full(k, 1.0 / k))
+    temporal = TemporalNetwork(base)
+    temporal.advance_window()
+    transition = np.full((k, k), 1.0 / k)
+    for i in range(9):  # 9 frontier nodes x 5 states -> 5^9 > MAX cells
+        temporal.append_node(f"f{i}", k, parents=("root",), cpd=transition)
+    assert k**9 > MAX_RETIRE_TABLE
+    with pytest.raises(ValidationError, match="too wide"):
+        temporal.retire_window()
+
+
+def test_indefinite_stream_stays_bounded():
+    """Append-advance-retire forever: node count and registry stay flat."""
+    temporal = _chain_pair()
+    for step in range(6):
+        temporal.advance_window()
+        tail = temporal.nodes[-1]
+        k_parent = temporal.network.n_states(tail)
+        temporal.append_node(
+            f"n{step}", 2, parents=(tail,), cpd=np.full((k_parent, 2), 0.5)
+        )
+        temporal.retire_window()
+        assert len(temporal.nodes) <= 4
+    assert engine_registry_size() <= 64
+    assert temporal.retired_engine_count >= 12  # one per append + retire
+
+
+# -- incremental recalibration ----------------------------------------------
+#: (name, make_net, make_gen (or None for default shells), max_radius,
+#: edited node) — the edited node is a *sink* in each family, so its dirty
+#: closure touches few candidate quilts and most sigmas must survive.
+FAMILIES = [
+    (
+        "blocks",
+        lambda: household_blocks_network(4, 4),
+        lambda: BlockQuiltGenerator(
+            tuple(tuple(block_node(i, j) for j in range(4)) for i in range(4))
+        ),
+        None,
+        block_node(0, 3),
+    ),
+    (
+        "grid",
+        lambda: grid_network(4, 4),
+        None,  # default distance shells, capped so far cells stay clean
+        1,
+        "g3_3",
+    ),
+    (
+        "hub",
+        lambda: hub_and_spoke_network(4, 3),
+        # Shell-merging generators (HubQuiltGenerator et al.) propose a
+        # shell containing the edited leaf for every node of a connected
+        # graph, so full recomputation is the *correct* answer there;
+        # capped default shells keep distant spokes' closures clean.
+        None,
+        1,
+        spoke_node(0, 3),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "make_net, make_gen, max_radius, edited", [f[1:] for f in FAMILIES],
+    ids=[f[0] for f in FAMILIES],
+)
+def test_single_edit_recalibration_is_bit_identical(
+    make_net, make_gen, max_radius, edited
+):
+    generator = make_gen() if make_gen is not None else None
+    temporal = TemporalNetwork(make_net())
+    mech_cold, report_cold = temporal.calibrated_mechanism(
+        EPSILON, quilt_generator=generator, max_radius=max_radius
+    )
+    assert report_cold.cold
+    assert report_cold.recomputed_nodes == len(temporal.nodes)
+
+    temporal.update_cpd(edited, _uniform_cpd(temporal.network, edited))
+    mech_warm, report_warm = temporal.calibrated_mechanism(
+        EPSILON, quilt_generator=generator, max_radius=max_radius
+    )
+    assert not report_warm.cold
+    assert report_warm.reused_nodes > 0
+    assert report_warm.recomputed_nodes < report_warm.total_nodes
+
+    fresh = MarkovQuiltMechanism(
+        [temporal.network],
+        EPSILON,
+        quilt_generator=generator,
+        max_radius=max_radius,
+    )
+    fresh.sigma_max()
+    assert fresh._sigma_cache == mech_warm._sigma_cache
+
+
+def test_noop_recalibration_reuses_everything():
+    temporal = TemporalNetwork(household_blocks_network(3, 3))
+    temporal.calibrated_mechanism(EPSILON)
+    _, report = temporal.calibrated_mechanism(EPSILON)
+    assert report.reused_nodes == report.total_nodes
+    assert report.recomputed_nodes == 0
+    assert report.reuse_fraction == 1.0
+    assert report.edits_applied == 0
+
+
+def test_distinct_epsilons_are_independent_memos():
+    temporal = TemporalNetwork(household_blocks_network(2, 3))
+    _, first = temporal.calibrated_mechanism(0.5)
+    _, second = temporal.calibrated_mechanism(1.0)
+    assert first.cold and second.cold
+    _, warm = temporal.calibrated_mechanism(0.5)
+    assert not warm.cold
+
+
+def test_edit_invalidates_closure_touched_nodes_only():
+    """Blocks are independent: an edit in block 0 recomputes at most that
+    block; every other block's sigmas are cache hits."""
+    temporal = TemporalNetwork(household_blocks_network(4, 4))
+    generator = BlockQuiltGenerator(
+        tuple(tuple(block_node(i, j) for j in range(4)) for i in range(4))
+    )
+    temporal.calibrated_mechanism(EPSILON, quilt_generator=generator)
+    temporal.update_cpd(
+        block_node(0, 0), _uniform_cpd(temporal.network, block_node(0, 0))
+    )
+    _, report = temporal.calibrated_mechanism(EPSILON, quilt_generator=generator)
+    assert report.recomputed_nodes <= 4
+    assert report.reused_nodes >= 12
+
+
+def test_append_then_recalibrate_is_bit_identical():
+    """A structural edit (append) changes candidate sets near the new node;
+    survivors still replay bit-identically."""
+    temporal = TemporalNetwork(hub_and_spoke_network(3, 2))
+    temporal.calibrated_mechanism(EPSILON)
+    temporal.advance_window()
+    temporal.append_node(
+        "s0_3", 2, parents=("s0_2",), cpd=[[0.8, 0.2], [0.3, 0.7]]
+    )
+    mech_warm, report = temporal.calibrated_mechanism(EPSILON)
+    assert not report.cold
+    fresh = MarkovQuiltMechanism([temporal.network], EPSILON)
+    fresh.sigma_max()
+    assert fresh._sigma_cache == mech_warm._sigma_cache
+
+
+def test_retire_then_recalibrate_is_bit_identical():
+    temporal = _chain_pair()
+    temporal.calibrated_mechanism(EPSILON)
+    temporal.retire_window()
+    mech_warm, report = temporal.calibrated_mechanism(EPSILON)
+    assert not report.cold
+    fresh = MarkovQuiltMechanism([temporal.network], EPSILON)
+    fresh.sigma_max()
+    assert fresh._sigma_cache == mech_warm._sigma_cache
+
+
+def test_recalibration_report_math():
+    report = RecalibrationReport(
+        total_nodes=10, reused_nodes=7, recomputed_nodes=3,
+        edits_applied=1, cold=False,
+    )
+    assert report.reuse_fraction == pytest.approx(0.7)
+    assert RecalibrationReport(0, 0, 0, 0, True).reuse_fraction == 0.0
+
+
+# -- staleness: edits re-fingerprint immediately ----------------------------
+def test_update_cpd_rehashes_the_network():
+    temporal = _chain_pair()
+    before = temporal.fingerprint()
+    temporal.update_cpd("a", [0.5, 0.5])
+    after = temporal.fingerprint()
+    assert before != after
+    # Content-keyed: an independently built network with the same content
+    # lands on the same fingerprint.
+    twin = DiscreteBayesianNetwork()
+    twin.add_node("a", 2, cpd=[0.5, 0.5])
+    twin.add_node("b", 2, parents=("a",), cpd=[[0.9, 0.1], [0.2, 0.8]])
+    twin.add_node("c", 2, parents=("b",), cpd=[[0.7, 0.3], [0.4, 0.6]])
+    twin.add_node("d", 3, parents=("c",), cpd=[[0.5, 0.3, 0.2], [0.1, 0.6, 0.3]])
+    assert twin.fingerprint() == after
+
+
+def test_pickle_roundtrip_then_edit_rehashes():
+    """The fingerprint memo must not survive a pickle round-trip stale: a
+    clone edited after rehydration re-hashes from content."""
+    temporal = _chain_pair()
+    before = temporal.fingerprint()
+    clone: TemporalNetwork = pickle.loads(pickle.dumps(temporal))
+    assert clone.fingerprint() == before
+    clone.update_cpd("a", [0.5, 0.5])
+    assert clone.fingerprint() != before
+    assert temporal.fingerprint() == before  # the original is untouched
+    # The rehydrated clone keeps recalibrating incrementally.
+    mech, report = clone.calibrated_mechanism(EPSILON)
+    fresh = MarkovQuiltMechanism([clone.network], EPSILON)
+    fresh.sigma_max()
+    assert fresh._sigma_cache == mech._sigma_cache
+
+
+def test_stale_calibration_cache_entries_are_never_served():
+    """The serving cache keys on the mechanism's content fingerprint, so an
+    edited network can never hit the pre-edit entry."""
+    import repro.core.queries as queries
+    from repro.serving.cache import CalibrationCache
+
+    temporal = _chain_pair()
+    data = np.ones(len(temporal.nodes))
+    query = queries.CountQuery()
+    cache = CalibrationCache()
+    mech_before = MarkovQuiltMechanism([temporal.network], EPSILON)
+    _, was_hit = cache.get_or_compute(mech_before, query, data)
+    assert not was_hit
+    key_before = cache.key_for(mech_before, query, data)
+
+    temporal.update_cpd("a", [0.5, 0.5])
+    mech_after = MarkovQuiltMechanism([temporal.network], EPSILON)
+    key_after = cache.key_for(mech_after, query, data)
+    assert key_before != key_after
+    _, was_hit = cache.get_or_compute(mech_after, query, data)
+    assert not was_hit  # the pre-edit entry is invisible to the edited net
+
+
+def test_edits_retire_the_pinned_engine():
+    temporal = _chain_pair()
+    fingerprint = temporal.fingerprint()
+    temporal.network.inference_engine()  # pin a registry engine
+    before = engine_registry_size()
+    temporal.update_cpd("a", [0.5, 0.5])
+    assert engine_registry_size() == before - 1
+    assert temporal.retired_engine_count >= 1
+    # Idempotent: invalidating an absent fingerprint reports False.
+    assert invalidate_engine(fingerprint) is False
